@@ -1,0 +1,77 @@
+//! Criterion micro-benches for the Redis-like and Lucene-like engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvstore::{Dataset, DatasetConfig, IntSet};
+use searchengine::{search, Corpus, CorpusConfig};
+
+fn bench_set_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sinter");
+    // Balanced merge path.
+    for &n in &[1_000usize, 100_000] {
+        let a = IntSet::from_unsorted((0..n as u32).map(|i| i * 3).collect());
+        let b = IntSet::from_unsorted((0..n as u32).map(|i| i * 5).collect());
+        group.bench_with_input(BenchmarkId::new("balanced", n), &n, |bch, _| {
+            bch.iter(|| a.intersect(&b).0.len())
+        });
+    }
+    // Skewed gallop path.
+    let small = IntSet::from_unsorted((0..100u32).map(|i| i * 997).collect());
+    let large = IntSet::from_unsorted((0..1_000_000u32).collect());
+    group.bench_function("skewed_gallop_100_vs_1M", |bch| {
+        bch.iter(|| small.intersect(&large).0.len())
+    });
+    group.finish();
+}
+
+fn bench_dataset_queries(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetConfig {
+        num_sets: 200,
+        ..DatasetConfig::default()
+    });
+    c.bench_function("sinter_dataset_pair", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = i % dataset.sets.len();
+            let x = (i * 7 + 1) % dataset.sets.len();
+            i += 1;
+            dataset.sets[a].intersect(&dataset.sets[x]).0.len()
+        })
+    });
+}
+
+fn bench_bm25(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 10_000,
+        vocab: 20_000,
+        ..CorpusConfig::default()
+    });
+    let index = corpus.build_index();
+    let mut group = c.benchmark_group("bm25");
+    group.bench_function("head_term_top10", |b| {
+        b.iter(|| search(&index, &[0, 1], 10).0.len())
+    });
+    group.bench_function("tail_terms_top10", |b| {
+        let q = [15_000u32, 16_000, 17_000];
+        b.iter(|| search(&index, &q, 10).0.len())
+    });
+    group.bench_function("index_build_1k_docs", |b| {
+        b.iter(|| {
+            let mut builder = searchengine::IndexBuilder::new();
+            for d in corpus.docs.iter().take(1_000) {
+                builder.add_doc(d);
+            }
+            builder.build().num_docs()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_set_intersection, bench_dataset_queries, bench_bm25
+}
+criterion_main!(benches);

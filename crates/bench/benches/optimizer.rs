@@ -1,0 +1,93 @@
+//! Criterion benches for `ComputeOptimalSingleR`, including the
+//! finger-cursor vs binary-search ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distributions::rng::seeded;
+use distributions::{Exponential, Pareto, Sample};
+use reissue_core::{compute_optimal_single_r, compute_optimal_single_r_correlated, Ecdf};
+
+/// A deliberately naive re-implementation of the optimizer's success
+/// sweep using `O(log N)` binary-search CDF evaluations instead of the
+/// amortized-O(1) finger cursors — the ablation baseline.
+fn optimal_single_r_binary_search(rx: &[f64], ry: &[f64], k: f64, budget: f64) -> (f64, f64) {
+    let x = Ecdf::new(rx.to_vec());
+    let y = Ecdf::new(ry.to_vec());
+    let xs = x.samples().to_vec();
+    let n = xs.len();
+    let success = |t: f64, d: f64| -> f64 {
+        let p_le = x.cdf_strict(t);
+        let p_gt = 1.0 - x.cdf_strict(d);
+        let q = if p_gt > 0.0 {
+            (budget / p_gt).min(1.0)
+        } else {
+            0.0
+        };
+        p_le + q * (1.0 - p_le) * y.cdf_strict(t - d)
+    };
+    let (mut lo, mut hi) = (0usize, n - 1);
+    let mut d_star = xs[0];
+    let mut t = xs[n - 1];
+    while lo <= hi {
+        let d = xs[lo];
+        lo += 1;
+        if d > t {
+            break;
+        }
+        let mut alpha = success(t, d);
+        while alpha > k && t > d && hi > 0 {
+            hi -= 1;
+            t = xs[hi];
+            d_star = d;
+            alpha = success(t, d);
+        }
+        if lo > hi {
+            break;
+        }
+    }
+    (d_star, t)
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = seeded(1);
+        let rx = Pareto::paper_default().sample_n(&mut rng, n);
+        let ry = Pareto::paper_default().sample_n(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("finger_cursor", n), &n, |b, _| {
+            b.iter(|| compute_optimal_single_r(&rx, &ry, 0.99, 0.05))
+        });
+        group.bench_with_input(BenchmarkId::new("binary_search", n), &n, |b, _| {
+            b.iter(|| optimal_single_r_binary_search(&rx, &ry, 0.99, 0.05))
+        });
+    }
+    group.finish();
+}
+
+fn bench_correlated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_correlated");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = seeded(2);
+        let d = Exponential::new(1.0);
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                (x, 0.5 * x + d.sample(&mut rng))
+            })
+            .collect();
+        let rx: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        group.bench_with_input(BenchmarkId::new("fenwick_sweep", n), &n, |b, _| {
+            b.iter(|| compute_optimal_single_r_correlated(&rx, &pairs, 0.99, 0.05))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_optimizer, bench_correlated
+}
+criterion_main!(benches);

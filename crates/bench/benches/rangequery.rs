@@ -1,0 +1,125 @@
+//! Criterion benches for the range-query substrates: merge-sort tree
+//! vs Fenwick sweep vs brute force for conditional-CDF estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distributions::rng::seeded;
+use distributions::{Exponential, Sample};
+use rangequery::{FenwickTree, FingerCursor, MergeSortTree, Treap};
+
+fn make_pairs(n: usize) -> Vec<(f64, f64)> {
+    let mut rng = seeded(3);
+    let d = Exponential::new(1.0);
+    (0..n)
+        .map(|_| {
+            let x = d.sample(&mut rng);
+            (x, 0.5 * x + d.sample(&mut rng))
+        })
+        .collect()
+}
+
+fn bench_conditional_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conditional_count");
+    for &n in &[10_000usize, 100_000] {
+        let pairs = make_pairs(n);
+        let tree = MergeSortTree::new(&pairs);
+        // Query workload: 1000 descending-t queries (the optimizer's
+        // access pattern).
+        let mut ts: Vec<f64> = pairs.iter().map(|p| p.0).take(1000).collect();
+        ts.sort_by(|a, b| b.total_cmp(a));
+
+        group.bench_with_input(BenchmarkId::new("merge_sort_tree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &t in &ts {
+                    acc += tree.count_above_le(t, t * 0.5);
+                }
+                acc
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("fenwick_sweep", n), &n, |b, _| {
+            b.iter(|| {
+                let mut y_sorted: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                y_sorted.sort_by(f64::total_cmp);
+                let mut by_x = pairs.clone();
+                by_x.sort_by(|a, b| b.0.total_cmp(&a.0));
+                let mut fw = FenwickTree::new(n);
+                let mut next = 0usize;
+                let mut acc = 0u64;
+                for &t in &ts {
+                    while next < by_x.len() && by_x[next].0 > t {
+                        let rank = y_sorted.partition_point(|&y| y < by_x[next].1);
+                        fw.add(rank.min(n - 1), 1);
+                        next += 1;
+                    }
+                    let below = y_sorted.partition_point(|&y| y < t * 0.5);
+                    acc += fw.prefix_sum(below);
+                }
+                acc
+            })
+        });
+
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &t in &ts {
+                        acc += pairs.iter().filter(|p| p.0 > t && p.1 <= t * 0.5).count();
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cdf_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdf_queries");
+    let n = 100_000usize;
+    let mut rng = seeded(4);
+    let mut xs = Exponential::new(1.0).sample_n(&mut rng, n);
+    xs.sort_by(f64::total_cmp);
+    // Monotone ascending query values, the optimizer's pattern.
+    let qs: Vec<f64> = (0..10_000).map(|i| i as f64 / 1000.0).collect();
+
+    group.bench_function("finger_cursor_monotone", |b| {
+        b.iter(|| {
+            let mut c = FingerCursor::new(&xs);
+            let mut acc = 0usize;
+            for &q in &qs {
+                acc += c.count_less(q);
+            }
+            acc
+        })
+    });
+    group.bench_function("binary_search_monotone", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &qs {
+                acc += xs.partition_point(|&x| x < q);
+            }
+            acc
+        })
+    });
+    group.bench_function("treap_insert_100k", |b| {
+        b.iter(|| {
+            let mut t = Treap::new(7);
+            for &x in xs.iter().take(10_000) {
+                t.insert(x);
+            }
+            t.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_conditional_count, bench_cdf_structures
+}
+criterion_main!(benches);

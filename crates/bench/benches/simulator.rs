@@ -1,0 +1,120 @@
+//! Criterion benches for discrete-event-simulator throughput under the
+//! paper's cluster configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use distributions::Pareto;
+use reissue_core::ReissuePolicy;
+use simulator::{
+    simulate, ArrivalProcess, Balancer, ClusterConfig, CorrelatedService, Discipline, RunConfig,
+};
+
+fn bench_des_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_throughput");
+    let queries = 20_000usize;
+    group.throughput(Throughput::Elements(queries as u64));
+
+    let configs: Vec<(&str, ClusterConfig)> = vec![
+        (
+            "fifo_random",
+            ClusterConfig {
+                servers: 10,
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "fifo_min_of_all",
+            ClusterConfig {
+                servers: 10,
+                balancer: Balancer::MinOfAll,
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "round_robin_16",
+            ClusterConfig {
+                servers: 10,
+                discipline: Discipline::RoundRobin { connections: 16 },
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "prioritized_fifo",
+            ClusterConfig {
+                servers: 10,
+                discipline: Discipline::PrioritizedFifo,
+                ..ClusterConfig::default()
+            },
+        ),
+    ];
+
+    for (name, cluster) in configs {
+        group.bench_with_input(BenchmarkId::new("hedged", name), &cluster, |b, cluster| {
+            b.iter(|| {
+                let mut service = CorrelatedService::new(Pareto::paper_default(), 0.5);
+                let run = RunConfig {
+                    queries,
+                    warmup: 0,
+                    seed: 1,
+                    arrival: ArrivalProcess::poisson_for_utilization(0.3, 10, 22.0),
+                };
+                simulate(
+                    cluster,
+                    &run,
+                    &mut service,
+                    &ReissuePolicy::single_r(30.0, 0.5),
+                )
+                .records
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_overhead");
+    let queries = 20_000usize;
+    group.throughput(Throughput::Elements(queries as u64));
+    for (name, policy) in [
+        ("none", ReissuePolicy::None),
+        ("single_r", ReissuePolicy::single_r(30.0, 0.5)),
+        (
+            "multiple_r_3",
+            ReissuePolicy::multiple_r(vec![(20.0, 0.3), (40.0, 0.3), (80.0, 0.3)]),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut service = CorrelatedService::new(Pareto::paper_default(), 0.5);
+                let run = RunConfig {
+                    queries,
+                    warmup: 0,
+                    seed: 2,
+                    arrival: ArrivalProcess::poisson_for_utilization(0.3, 10, 22.0),
+                };
+                simulate(
+                    &ClusterConfig {
+                        servers: 10,
+                        ..ClusterConfig::default()
+                    },
+                    &run,
+                    &mut service,
+                    &policy,
+                )
+                .records
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_des_throughput, bench_policy_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regenerates the paper's figures. See `reissue_bench` crate docs.
+//!
+//! ```text
+//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|all>...
+//! ```
+
+use reissue_bench::{figs_ext, figs_sim, figs_sys, out_dir, Scale, Table};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let no_csv = args.iter().any(|a| a == "--no-csv");
+    let scale = if fast { Scale::Fast } else { Scale::Full };
+    let mut figs: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if figs.is_empty() {
+        eprintln!(
+            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|all>..."
+        );
+        std::process::exit(2);
+    }
+    if figs.iter().any(|f| f == "all") {
+        figs = vec![
+            "fig2a".into(),
+            "fig2b".into(),
+            "fig3".into(),
+            "fig4".into(),
+            "fig5a".into(),
+            "fig5b".into(),
+            "fig5c".into(),
+            "fig6".into(),
+            "fig7to9".into(),
+            "ext".into(),
+        ];
+    }
+
+    let dir = out_dir();
+    for fig in figs {
+        let start = Instant::now();
+        let tables: Vec<Table> = match fig.as_str() {
+            "fig2a" => figs_sim::fig2a(scale),
+            "fig2b" => figs_sim::fig2b(scale),
+            "fig3" | "fig3a" | "fig3b" | "fig3c" => figs_sim::fig3(scale),
+            "fig4" => figs_sim::fig4(scale),
+            "fig5a" => figs_sim::fig5a(scale),
+            "fig5b" => figs_sim::fig5b(scale),
+            "fig5c" => figs_sim::fig5c(scale),
+            "fig6" => figs_sim::fig6(scale),
+            "fig7a" => figs_sys::fig7a(scale),
+            "fig7b" => figs_sys::fig7b(scale),
+            "fig7c" => figs_sys::fig7c(scale),
+            "fig8" => figs_sys::fig8(scale),
+            "fig9" => figs_sys::fig9(scale),
+            "fig7to9" => figs_sys::fig7_to_9(scale),
+            "ext1" => figs_ext::ext1_cancellation(scale),
+            "ext2" => figs_ext::ext2_routing(scale),
+            "ext3" => figs_ext::ext3_multiple_r(scale),
+            "ext" => figs_ext::all(scale),
+            other => {
+                eprintln!("unknown figure id: {other}");
+                std::process::exit(2);
+            }
+        };
+        let elapsed = start.elapsed();
+        for t in &tables {
+            // Scatter tables are large; print only a summary line.
+            if t.rows.len() > 60 {
+                println!(
+                    "== {} == ({} rows, see {}/{}.csv)",
+                    t.name,
+                    t.rows.len(),
+                    dir.display(),
+                    t.name
+                );
+            } else {
+                println!("{}", t.render());
+            }
+            if !no_csv {
+                if let Err(e) = t.write_csv(&dir) {
+                    eprintln!("warning: failed to write {}: {e}", t.name);
+                }
+            }
+        }
+        eprintln!("[{} done in {:.1?}]", fig, elapsed);
+    }
+}

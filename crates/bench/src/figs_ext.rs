@@ -1,0 +1,176 @@
+//! Extension experiments beyond the paper's figures — the ablations
+//! DESIGN.md calls out for design choices the paper leaves implicit.
+//!
+//! * `ext1` — **in-queue cancellation**: the paper lets every issued
+//!   copy run to completion; production systems (and Lee et al., cited
+//!   by the paper) often cancel the loser. How much tail and load does
+//!   lazy in-queue cancellation recover?
+//! * `ext2` — **reissue routing**: the paper's simulator routes
+//!   reissues uniformly at random (possibly back onto the primary's
+//!   server); classic hedging avoids the primary's replica. How much
+//!   does `AvoidPrimary` matter at various budgets?
+//! * `ext3` — **MultipleR in a queueing system**: Theorem 3.2 is proved
+//!   in the static model; does one-shot SingleR still match a 3-stage
+//!   MultipleR with the same measured budget under queueing feedback?
+
+use crate::{
+    eval_fixed, median, parallel_map, tune_single_r, Scale, Table,
+};
+use reissue_core::ReissuePolicy;
+use simulator::ReissueRouting;
+use workloads::{queueing, WorkloadSpec};
+
+/// Tail percentile for the extension experiments.
+const K: f64 = 0.95;
+
+/// Per-seed paired comparison: tune one policy on `reference` for each
+/// seed, evaluate it on both variants under the same seed, median the
+/// per-seed results. Returns `(p95_a, p95_b, rate_a, rate_b)`.
+fn paired_ab(
+    reference: &WorkloadSpec,
+    variant_b: &WorkloadSpec,
+    queries: usize,
+    seeds: &[u64],
+    budget: f64,
+    trials: usize,
+) -> (f64, f64, f64, f64) {
+    let mut la = Vec::new();
+    let mut lb = Vec::new();
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    for &seed in seeds {
+        let tuned = tune_single_r(reference, queries, seed, K, budget, trials, 0.5);
+        let a = eval_fixed(reference, queries, &[seed], K, &tuned.policy);
+        let b = eval_fixed(variant_b, queries, &[seed], K, &tuned.policy);
+        la.push(a.latency);
+        lb.push(b.latency);
+        ra.push(a.rate);
+        rb.push(b.rate);
+    }
+    (median(&la), median(&lb), median(&ra), median(&rb))
+}
+
+/// ext1: lazy in-queue cancellation on/off, across budgets.
+pub fn ext1_cancellation(scale: Scale) -> Vec<Table> {
+    let queries = scale.queries(40_000);
+    let seeds = scale.seeds(3);
+    let budgets = [0.05, 0.1, 0.2, 0.3, 0.5];
+
+    let seeds_ref = &seeds;
+    let rows: Vec<Vec<f64>> = parallel_map(budgets.to_vec(), |budget| {
+        let plain = queueing(0.3, 0.5, 61);
+        let mut cancelling = plain.clone();
+        cancelling.cluster.cancel_queued = true;
+
+        // Tune on the paper's (no-cancel) system per seed, evaluate the
+        // same policy under both variants — isolating the cancellation
+        // mechanism from tuning differences. (Tuning *on* a cancelling
+        // system is also confounded: dropped copies censor the primary
+        // response log the optimizer consumes.)
+        let (p, c, rp, rc) = paired_ab(
+            &plain,
+            &cancelling,
+            queries,
+            seeds_ref,
+            budget,
+            scale.trials(6),
+        );
+        vec![budget, p, c, rp, rc]
+    });
+
+    let mut t = Table::new(
+        "ext1_cancellation",
+        &["budget", "p95_no_cancel", "p95_cancel", "rate_no_cancel", "rate_cancel"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    vec![t]
+}
+
+/// ext2: reissue routing — Any vs AvoidPrimary.
+pub fn ext2_routing(scale: Scale) -> Vec<Table> {
+    let queries = scale.queries(40_000);
+    let seeds = scale.seeds(3);
+    let budgets = [0.05, 0.1, 0.2, 0.3];
+
+    let seeds_ref = &seeds;
+    let rows: Vec<Vec<f64>> = parallel_map(budgets.to_vec(), |budget| {
+        let any = queueing(0.3, 0.5, 62);
+        let mut avoid = any.clone();
+        avoid.cluster.reissue_routing = ReissueRouting::AvoidPrimary;
+
+        // One policy per seed, two routing rules (see ext1 on why).
+        let (a, v, _, _) =
+            paired_ab(&any, &avoid, queries, seeds_ref, budget, scale.trials(6));
+        vec![budget, a, v]
+    });
+
+    let mut t = Table::new(
+        "ext2_routing",
+        &["budget", "p95_any", "p95_avoid_primary"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    vec![t]
+}
+
+/// ext3: SingleR vs a 3-stage MultipleR with the same total measured
+/// rate, under queueing feedback. Theorem 3.2 says the static-model
+/// optimum needs only one stage; this measures whether splitting a
+/// tuned policy's budget across stages helps or hurts in a live queue.
+pub fn ext3_multiple_r(scale: Scale) -> Vec<Table> {
+    let queries = scale.queries(40_000);
+    let seeds = scale.seeds(3);
+    let budgets = [0.1, 0.2, 0.3];
+
+    let seeds_ref = &seeds;
+    let rows: Vec<Vec<f64>> = parallel_map(budgets.to_vec(), |budget| {
+        let spec = queueing(0.3, 0.5, 63);
+        let mut ls = Vec::new();
+        let mut lm = Vec::new();
+        let mut rs = Vec::new();
+        let mut rm = Vec::new();
+        for &seed in seeds_ref {
+            let tuned = tune_single_r(&spec, queries, seed, K, budget, scale.trials(6), 0.5);
+            let (d, q) = match tuned.policy {
+                ReissuePolicy::SingleR { delay, prob } => (delay.max(1e-6), prob),
+                _ => (1e-6, 0.0),
+            };
+            // Split the tuned policy into three stages straddling its
+            // delay, each with a third of the probability: same expected
+            // number of coin wins, spread in time.
+            let multi = ReissuePolicy::multiple_r(vec![
+                (0.5 * d, q / 3.0),
+                (d, q / 3.0),
+                (1.5 * d, q / 3.0),
+            ]);
+            let single = ReissuePolicy::single_r(d, q);
+            let s = eval_fixed(&spec, queries, &[seed], K, &single);
+            let m = eval_fixed(&spec, queries, &[seed], K, &multi);
+            ls.push(s.latency);
+            lm.push(m.latency);
+            rs.push(s.rate);
+            rm.push(m.rate);
+        }
+        vec![budget, median(&ls), median(&lm), median(&rs), median(&rm)]
+    });
+
+    let mut t = Table::new(
+        "ext3_multiple_r",
+        &["budget", "p95_singler", "p95_multipler3", "rate_singler", "rate_multipler3"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    vec![t]
+}
+
+/// All extension tables.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let mut tables = ext1_cancellation(scale);
+    tables.extend(ext2_routing(scale));
+    tables.extend(ext3_multiple_r(scale));
+    tables
+}

@@ -1,0 +1,356 @@
+//! Generators for the system-experiment figures (§6): Figures 7–9.
+//!
+//! The paper runs Redis and Lucene on a 10-server testbed; here the
+//! engines are this repository's `kvstore` and `searchengine` crates,
+//! whose *measured* per-query costs drive the cluster simulator (see
+//! DESIGN.md for the substitution argument).
+
+use crate::{
+    eval_policy, eval_tuned_single_d, eval_tuned_single_r, parallel_map, tune_single_r, Scale,
+    Table,
+};
+use reissue_core::budget::optimize_budget;
+use reissue_core::metrics::Histogram;
+use reissue_core::ReissuePolicy;
+use workloads::{lucene_cluster, lucene_trace, redis_cluster, redis_trace, WorkloadSpec};
+
+/// The §6 experiments target P99.
+const K: f64 = 0.99;
+
+/// The two systems under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sys {
+    Redis,
+    Lucene,
+}
+
+impl Sys {
+    fn label(self) -> &'static str {
+        match self {
+            Sys::Redis => "redis",
+            Sys::Lucene => "lucene",
+        }
+    }
+}
+
+/// Generates both engine traces once (expensive: real engine
+/// executions) and returns `(redis_costs, lucene_costs)`.
+pub fn traces(scale: Scale) -> (Vec<f64>, Vec<f64>) {
+    match scale {
+        Scale::Full => (redis_trace(1), lucene_trace(1)),
+        Scale::Fast => {
+            // Scaled-down engines for smoke runs.
+            let dataset = kvstore::Dataset::generate(kvstore::DatasetConfig {
+                num_sets: 300,
+                ..kvstore::DatasetConfig::default()
+            });
+            let mut t = kvstore::Trace::generate(
+                &dataset,
+                kvstore::WorkloadConfig {
+                    num_queries: 4_000,
+                    ..kvstore::WorkloadConfig::default()
+                },
+            );
+            t.calibrate_to_mean(2.366);
+            let corpus = searchengine::Corpus::generate(searchengine::CorpusConfig {
+                num_docs: 4_000,
+                vocab: 8_000,
+                ..searchengine::CorpusConfig::default()
+            });
+            let index = corpus.build_index();
+            let mut q = searchengine::QueryTrace::generate(
+                &index,
+                searchengine::QueryWorkloadConfig {
+                    num_queries: 2_000,
+                    ..searchengine::QueryWorkloadConfig::default()
+                },
+                100.0,
+            );
+            q.calibrate_to_mean(39.73);
+            (t.costs_ms, q.costs_ms)
+        }
+    }
+}
+
+fn cluster_for(sys: Sys, costs: &[f64], util: f64, seed: u64) -> WorkloadSpec {
+    match sys {
+        Sys::Redis => redis_cluster(costs.to_vec(), util, seed),
+        Sys::Lucene => lucene_cluster(costs.to_vec(), util, seed),
+    }
+}
+
+/// Figure 7a: P99 vs reissue rate (0–6 %), SingleR vs SingleD, both
+/// systems at 40 % utilization.
+pub fn fig7a(scale: Scale) -> Vec<Table> {
+    let (redis_costs, lucene_costs) = traces(scale);
+    fig7a_with(scale, &redis_costs, &lucene_costs)
+}
+
+/// Figure 7a with pre-generated traces (so `all` shares the engines).
+pub fn fig7a_with(scale: Scale, redis_costs: &[f64], lucene_costs: &[f64]) -> Vec<Table> {
+    let queries = scale.queries(40_000);
+    let seeds = scale.seeds(3);
+    let rates = [0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
+
+    let mut jobs = Vec::new();
+    for sys in [Sys::Redis, Sys::Lucene] {
+        for &b in &rates {
+            jobs.push((sys, b));
+        }
+    }
+    let seeds_ref = &seeds;
+    let rows: Vec<(Sys, f64, f64, f64, f64, f64)> = parallel_map(jobs, |(sys, budget)| {
+        let costs = match sys {
+            Sys::Redis => redis_costs,
+            Sys::Lucene => lucene_costs,
+        };
+        let spec = cluster_for(sys, costs, 0.40, 71);
+        if budget == 0.0 {
+            let (lat, _) = eval_policy(&spec, queries, seeds_ref, K, &ReissuePolicy::None);
+            (sys, budget, lat, 0.0, lat, 0.0)
+        } else {
+            let r = eval_tuned_single_r(&spec, queries, seeds_ref, K, budget, scale.trials(8), 0.5);
+            let d = eval_tuned_single_d(&spec, queries, seeds_ref, K, budget, scale.trials(8));
+            (sys, budget, r.latency, r.rate, d.latency, d.rate)
+        }
+    });
+
+    [Sys::Redis, Sys::Lucene]
+        .iter()
+        .map(|&sys| {
+            let mut t = Table::new(
+                format!("fig7a_{}", sys.label()),
+                &["budget", "singler_p99", "singler_rate", "singled_p99", "singled_rate"],
+            );
+            for r in rows.iter().filter(|r| r.0 == sys) {
+                t.push(vec![r.1, r.2, r.3, r.4, r.5]);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Figure 7b: P99 vs reissue rate at 20/40/60 % utilization (SingleR).
+pub fn fig7b(scale: Scale) -> Vec<Table> {
+    let (redis_costs, lucene_costs) = traces(scale);
+    fig7b_with(scale, &redis_costs, &lucene_costs)
+}
+
+/// Figure 7b with pre-generated traces.
+pub fn fig7b_with(scale: Scale, redis_costs: &[f64], lucene_costs: &[f64]) -> Vec<Table> {
+    let queries = scale.queries(40_000);
+    let seeds = scale.seeds(2);
+    let utils = [0.2, 0.4, 0.6];
+    let rates = [0.0, 0.01, 0.02, 0.03, 0.05, 0.08];
+
+    let mut jobs = Vec::new();
+    for sys in [Sys::Redis, Sys::Lucene] {
+        for &u in &utils {
+            for &b in &rates {
+                jobs.push((sys, u, b));
+            }
+        }
+    }
+    let seeds_ref = &seeds;
+    let rows: Vec<(Sys, f64, f64, f64, f64)> = parallel_map(jobs, |(sys, util, budget)| {
+        let costs = match sys {
+            Sys::Redis => redis_costs,
+            Sys::Lucene => lucene_costs,
+        };
+        let spec = cluster_for(sys, costs, util, 72);
+        if budget == 0.0 {
+            let (lat, _) = eval_policy(&spec, queries, seeds_ref, K, &ReissuePolicy::None);
+            (sys, util, budget, lat, 0.0)
+        } else {
+            let tuned =
+                eval_tuned_single_r(&spec, queries, seeds_ref, K, budget, scale.trials(8), 0.5);
+            (sys, util, budget, tuned.latency, tuned.rate)
+        }
+    });
+
+    [Sys::Redis, Sys::Lucene]
+        .iter()
+        .map(|&sys| {
+            let mut t = Table::new(
+                format!("fig7b_{}", sys.label()),
+                &["budget", "p99_util20", "p99_util40", "p99_util60"],
+            );
+            for &b in &rates {
+                let mut row = vec![b];
+                for &u in &utils {
+                    let v = rows
+                        .iter()
+                        .find(|r| r.0 == sys && r.1 == u && r.2 == b)
+                        .map(|r| r.3)
+                        .unwrap_or(f64::NAN);
+                    row.push(v);
+                }
+                t.push(row);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Figure 7c: best-budget P99 vs utilization (20–60 %), against the
+/// no-reissue baseline. The best budget per utilization comes from the
+/// §4.4 expanding binary search.
+pub fn fig7c(scale: Scale) -> Vec<Table> {
+    let (redis_costs, lucene_costs) = traces(scale);
+    fig7c_with(scale, &redis_costs, &lucene_costs)
+}
+
+/// Figure 7c with pre-generated traces.
+pub fn fig7c_with(scale: Scale, redis_costs: &[f64], lucene_costs: &[f64]) -> Vec<Table> {
+    let queries = scale.queries(25_000);
+    let utils = [0.2, 0.3, 0.4, 0.5, 0.6];
+    let search_trials = scale.trials(10);
+
+    let mut jobs = Vec::new();
+    for sys in [Sys::Redis, Sys::Lucene] {
+        for &u in &utils {
+            jobs.push((sys, u));
+        }
+    }
+    let rows: Vec<(Sys, f64, f64, f64, f64)> = parallel_map(jobs, |(sys, util)| {
+        let costs = match sys {
+            Sys::Redis => redis_costs,
+            Sys::Lucene => lucene_costs,
+        };
+        let spec = cluster_for(sys, costs, util, 73);
+        // Common random numbers: every budget probe tunes and measures
+        // on the same realization, so probes are comparable.
+        let seed = 2000;
+        let base = eval_policy(&spec, queries, &[seed], K, &ReissuePolicy::None).0;
+        let result = optimize_budget(
+            |budget| {
+                if budget == 0.0 {
+                    return base;
+                }
+                let tuned =
+                    tune_single_r(&spec, queries, seed, K, budget, scale.trials(6), 0.5);
+                eval_policy(&spec, queries, &[seed], K, &tuned.policy).0
+            },
+            0.01,
+            0.3,
+            search_trials,
+        );
+        (sys, util, result.best_budget, result.best_latency, base)
+    });
+
+    [Sys::Redis, Sys::Lucene]
+        .iter()
+        .map(|&sys| {
+            let mut t = Table::new(
+                format!("fig7c_{}", sys.label()),
+                &["util", "best_budget", "best_p99", "noreissue_p99"],
+            );
+            for r in rows.iter().filter(|r| r.0 == sys) {
+                t.push(vec![r.1, r.2, r.3, r.4]);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Figure 8: the budget binary-search trace on the Redis workload at
+/// 20 % utilization — probed budget and P99 per trial.
+pub fn fig8(scale: Scale) -> Vec<Table> {
+    let (redis_costs, _) = traces(scale);
+    fig8_with(scale, &redis_costs)
+}
+
+/// Figure 8 with a pre-generated trace.
+pub fn fig8_with(scale: Scale, redis_costs: &[f64]) -> Vec<Table> {
+    let queries = scale.queries(25_000);
+    let spec = redis_cluster(redis_costs.to_vec(), 0.20, 73);
+    // Same realization as fig7c's 20%-util point, so the two figures
+    // tell one consistent story (the expand/halve walk is sensitive to
+    // whether its very first +1% probe lands well; the paper's Figure 8
+    // likewise shows a single representative search).
+    let seed = 2000;
+    let result = optimize_budget(
+        |budget| {
+            if budget == 0.0 {
+                return eval_policy(&spec, queries, &[seed], K, &ReissuePolicy::None).0;
+            }
+            let tuned = tune_single_r(&spec, queries, seed, K, budget, scale.trials(8), 0.5);
+            eval_policy(&spec, queries, &[seed], K, &tuned.policy).0
+        },
+        0.01,
+        0.3,
+        scale.trials(14),
+    );
+
+    let mut t = Table::new(
+        "fig8_budget_search",
+        &["trial", "budget", "p99", "best_budget", "best_p99"],
+    );
+    for (i, trial) in result.trials.iter().enumerate() {
+        t.push(vec![
+            i as f64,
+            trial.budget,
+            trial.latency,
+            trial.best_budget,
+            trial.best_latency,
+        ]);
+    }
+    vec![t]
+}
+
+/// Figure 9: service-time histograms (20 ms bins) of the Redis and
+/// Lucene traces, plus summary moments matched against the paper's
+/// measurements (µ_R = 2.366 ms, σ_R = 8.64; µ_L = 39.73 ms,
+/// σ_L = 21.88).
+pub fn fig9(scale: Scale) -> Vec<Table> {
+    let (redis_costs, lucene_costs) = traces(scale);
+    fig9_with(&redis_costs, &lucene_costs)
+}
+
+/// Figure 9 with pre-generated traces.
+pub fn fig9_with(redis_costs: &[f64], lucene_costs: &[f64]) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (name, costs) in [("redis", redis_costs), ("lucene", lucene_costs)] {
+        let mut h = Histogram::new(20.0, 12); // 20 ms bins to 240 ms
+        for &c in costs {
+            h.record(c);
+        }
+        let mut t = Table::new(
+            format!("fig9_{name}_hist"),
+            &["bin_mid_ms", "count"],
+        );
+        for (mid, count) in h.bins() {
+            t.push(vec![mid, count as f64]);
+        }
+        t.push(vec![f64::INFINITY, h.overflow() as f64]);
+        tables.push(t);
+
+        let n = costs.len() as f64;
+        let mean = costs.iter().sum::<f64>() / n;
+        let std = (costs.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n).sqrt();
+        let mut s = Table::new(
+            format!("fig9_{name}_stats"),
+            &["mean_ms", "std_ms", "frac_above_100ms", "max_ms"],
+        );
+        s.push(vec![
+            mean,
+            std,
+            costs.iter().filter(|&&c| c > 100.0).count() as f64 / n,
+            costs.iter().cloned().fold(0.0, f64::max),
+        ]);
+        tables.push(s);
+    }
+    tables
+}
+
+/// Runs all §6 figures sharing one pair of engine traces.
+pub fn fig7_to_9(scale: Scale) -> Vec<Table> {
+    let (redis_costs, lucene_costs) = traces(scale);
+    let mut tables = Vec::new();
+    tables.extend(fig7a_with(scale, &redis_costs, &lucene_costs));
+    tables.extend(fig7b_with(scale, &redis_costs, &lucene_costs));
+    tables.extend(fig7c_with(scale, &redis_costs, &lucene_costs));
+    tables.extend(fig8_with(scale, &redis_costs));
+    tables.extend(fig9_with(&redis_costs, &lucene_costs));
+    tables
+}

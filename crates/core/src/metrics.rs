@@ -1,0 +1,344 @@
+//! Latency metrics: exact and streaming quantiles, reduction ratios,
+//! the paper's remediation rate, and service-time histograms.
+
+/// Exact nearest-rank `p`-quantile of a sample (copies and sorts).
+///
+/// # Panics
+/// Panics if `xs` is empty or `p ∉ [0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+    v[rank]
+}
+
+/// Tail-latency reduction ratio `baseline / improved` (the Y-axis of
+/// Figures 3a and 6; > 1 means the policy helped).
+///
+/// # Panics
+/// Panics if `improved ≤ 0`.
+pub fn reduction_ratio(baseline: f64, improved: f64) -> f64 {
+    assert!(improved > 0.0, "improved latency must be positive");
+    baseline / improved
+}
+
+/// The paper's *remediation rate* (§5.1, Figure 3b): among queries that
+/// actually reissued, the fraction whose primary would have missed the
+/// tail-latency target `t` but whose reissue responded in time, i.e.
+/// `Pr(X > t ∧ Y < t − d)` estimated over issued reissues.
+///
+/// `pairs` holds `(primary, reissue)` response times of reissued
+/// queries (reissue measured from its own dispatch at `d`).
+/// Returns 0 for an empty sample.
+pub fn remediation_rate(pairs: &[(f64, f64)], t: f64, d: f64) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let remedied = pairs
+        .iter()
+        .filter(|&&(x, y)| x > t && y < t - d)
+        .count();
+    remedied as f64 / pairs.len() as f64
+}
+
+/// Streaming quantile estimator using the P² algorithm
+/// (Jain & Chlamtac, 1985).
+///
+/// Tracks a single quantile in `O(1)` space without storing samples —
+/// used for online monitoring in long simulations where keeping every
+/// response time would dominate memory. Exact for ≤ 5 observations,
+/// approximate beyond.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based as in the paper).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile.
+    ///
+    /// # Panics
+    /// Panics if `p ∉ (0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                for i in 0..5 {
+                    self.q[i] = self.initial[i];
+                }
+            }
+            return;
+        }
+
+        // Find cell k and update extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.q[i] && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers with the P² parabolic update.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let qp = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, s)
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, q0, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n0, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        q0 + s / (np - nm)
+            * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate; `None` before any observation.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(f64::total_cmp);
+            let rank = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            return Some(v[rank]);
+        }
+        Some(self.q[2])
+    }
+}
+
+/// A fixed-width histogram for service-time distributions (Figure 9
+/// uses 20 ms bins with a log-scale count axis).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of `bin_width` each; values
+    /// beyond `bins * bin_width` land in an overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `bin_width ≤ 0` or `bins == 0`.
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(bin_width > 0.0 && bins > 0);
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records a value (negative values clamp into the first bin).
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        let idx = (v.max(0.0) / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bin_midpoint, count)` for every regular bin.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| ((i as f64 + 0.5) * self.bin_width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_basic() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.95), 95.0);
+        assert_eq!(quantile(&xs, 0.99), 99.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn reduction_ratio_basic() {
+        assert!((reduction_ratio(900.0, 400.0) - 2.25).abs() < 1e-12);
+        assert!((reduction_ratio(100.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remediation_counts_saves_only() {
+        let t = 10.0;
+        let d = 2.0;
+        let pairs = [
+            (12.0, 5.0),  // x > t, y < 8  -> remedied
+            (12.0, 9.0),  // x > t, y ≥ 8  -> reissue too slow
+            (7.0, 1.0),   // x ≤ t          -> reissue unnecessary
+            (15.0, 7.9),  // remedied
+        ];
+        assert!((remediation_rate(&pairs, t, d) - 0.5).abs() < 1e-12);
+        assert_eq!(remediation_rate(&[], t, d), 0.0);
+    }
+
+    #[test]
+    fn p2_small_samples_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), None);
+        for v in [5.0, 1.0, 3.0] {
+            p2.observe(v);
+        }
+        assert_eq!(p2.estimate(), Some(3.0)); // exact median of 3
+    }
+
+    #[test]
+    fn p2_approximates_uniform_median() {
+        let mut p2 = P2Quantile::new(0.5);
+        // Deterministic low-discrepancy stream over (0,1).
+        let mut x = 0.5f64;
+        for _ in 0..100_000 {
+            x = (x + 0.6180339887498949) % 1.0;
+            p2.observe(x);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "est={est}");
+    }
+
+    #[test]
+    fn p2_approximates_p99_of_linear_ramp() {
+        let mut p2 = P2Quantile::new(0.99);
+        // Shuffled-ish ramp 0..10000 via multiplicative hashing.
+        for i in 0..10_000u64 {
+            let v = (i.wrapping_mul(2654435761) % 10_000) as f64;
+            p2.observe(v);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 9900.0).abs() < 150.0, "est={est}");
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(20.0, 5); // covers [0,100)
+        for v in [0.0, 19.9, 20.0, 55.0, 99.9, 100.0, 1000.0, -3.0] {
+            h.record(v);
+        }
+        let counts: Vec<u64> = h.bins().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![3, 1, 1, 0, 1]); // -3 clamps into bin 0
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 8);
+        let mids: Vec<f64> = h.bins().map(|(m, _)| m).collect();
+        assert_eq!(mids, vec![10.0, 30.0, 50.0, 70.0, 90.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn p2_stays_within_range(vals in proptest::collection::vec(0.0f64..1e4, 6..500)) {
+            let mut p2 = P2Quantile::new(0.95);
+            for &v in &vals {
+                p2.observe(v);
+            }
+            let est = p2.estimate().unwrap();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo && est <= hi, "est={est} not in [{lo},{hi}]");
+        }
+
+        #[test]
+        fn histogram_conserves_mass(vals in proptest::collection::vec(-10.0f64..500.0, 0..300)) {
+            let mut h = Histogram::new(20.0, 12);
+            for &v in &vals {
+                h.record(v);
+            }
+            let binned: u64 = h.bins().map(|(_, c)| c).sum();
+            prop_assert_eq!(binned + h.overflow(), vals.len() as u64);
+        }
+    }
+}

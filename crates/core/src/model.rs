@@ -1,0 +1,344 @@
+//! The analytical model of §2–§3: success probabilities and budgets of
+//! reissue policies over abstract response-time distributions.
+//!
+//! These functions operate in the paper's simplified model — static
+//! response-time distributions, no queueing feedback, independence
+//! between the primary response `X` and reissue response `Y` — and are
+//! the ground truth the optimizer and the optimality theorems are tested
+//! against.
+
+use crate::policy::ReissuePolicy;
+use distributions::Cdf;
+
+/// `Pr(Q ≤ t)` — the probability that a query completes by `t` under
+/// `policy`, per Equations (1), (3) and (8) of the paper.
+///
+/// `x` is the response-time distribution of the primary request, `y`
+/// that of a reissue request (measured from *its own* dispatch).
+/// Response times of distinct requests are treated as independent; for
+/// correlated workloads use the data-driven optimizer instead.
+///
+/// For MultipleR with stages `(d₁,q₁),…,(dₙ,qₙ)` the success term of
+/// stage `i` generalizes Equation (10):
+///
+/// ```text
+/// Gᵢ = qᵢ · Pr(X > t) · Πⱼ<ᵢ (1 − qⱼ·Pr(Y ≤ t−dⱼ)) · Pr(Y ≤ t−dᵢ)
+/// ```
+pub fn success_probability(
+    policy: &ReissuePolicy,
+    x: &impl Cdf,
+    y: &impl Cdf,
+    t: f64,
+) -> f64 {
+    let px = x.cdf(t);
+    let mut success = px;
+    let mut none_of_earlier_helped = 1.0;
+    for s in policy.stages() {
+        let py = if t >= s.delay { y.cdf(t - s.delay) } else { 0.0 };
+        success += s.prob * (1.0 - px) * none_of_earlier_helped * py;
+        none_of_earlier_helped *= 1.0 - s.prob * py;
+    }
+    success.clamp(0.0, 1.0)
+}
+
+/// Expected reissue rate (requests actually sent per query) of `policy`
+/// — Equations (2), (4) and the general form behind Inequality (15).
+///
+/// Stage `i` issues a request iff the query is still incomplete at `dᵢ`
+/// and its coin lands heads:
+///
+/// ```text
+/// E[M]/N = Σᵢ qᵢ · Pr(X > dᵢ) · Πⱼ<ᵢ (1 − qⱼ·Pr(Y ≤ dᵢ−dⱼ))
+/// ```
+pub fn expected_budget(policy: &ReissuePolicy, x: &impl Cdf, y: &impl Cdf) -> f64 {
+    let stages = policy.stages();
+    let mut total = 0.0;
+    for (i, s) in stages.iter().enumerate() {
+        let mut incomplete = x.sf(s.delay);
+        for earlier in &stages[..i] {
+            let py = if s.delay >= earlier.delay {
+                y.cdf(s.delay - earlier.delay)
+            } else {
+                0.0
+            };
+            incomplete *= 1.0 - earlier.prob * py;
+        }
+        total += s.prob * incomplete;
+    }
+    total
+}
+
+/// The `k`-th percentile response time achieved by `policy`
+/// (the smallest `t` with `Pr(Q ≤ t) ≥ k`), found by bisection.
+///
+/// `hi` must satisfy `Pr(Q ≤ hi) ≥ k`; pass a generous upper bound
+/// (e.g. the no-reissue `k`-quantile). Bisection runs until the bracket
+/// is below `tol`.
+pub fn policy_quantile(
+    policy: &ReissuePolicy,
+    x: &impl Cdf,
+    y: &impl Cdf,
+    k: f64,
+    hi: f64,
+    tol: f64,
+) -> f64 {
+    assert!((0.0..1.0).contains(&k), "percentile k must be in [0,1)");
+    let mut lo = 0.0;
+    let mut hi = hi;
+    debug_assert!(success_probability(policy, x, y, hi) >= k);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if success_probability(policy, x, y, mid) >= k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Brute-force grid search for the optimal SingleR policy in the
+/// analytical model: minimizes the `k`-quantile subject to
+/// `expected_budget ≤ budget`, scanning `grid` candidate delays in
+/// `[0, d_max]`. Used to validate both the data-driven optimizer and
+/// Theorem 3.1/3.2; `O(grid²)` — test-scale only.
+pub fn optimal_single_r_grid(
+    x: &impl Cdf,
+    y: &impl Cdf,
+    k: f64,
+    budget: f64,
+    d_max: f64,
+    grid: usize,
+) -> (ReissuePolicy, f64) {
+    let mut best: Option<(ReissuePolicy, f64)> = None;
+    let hi0 = bracket_quantile(x, k, d_max);
+    for i in 0..=grid {
+        let d = d_max * i as f64 / grid as f64;
+        let q = (budget / x.sf(d).max(1e-12)).min(1.0);
+        let p = ReissuePolicy::single_r(d, q);
+        debug_assert!(expected_budget(&p, x, y) <= budget + 1e-9);
+        let t = policy_quantile(&p, x, y, k, hi0, 1e-6 * hi0.max(1.0));
+        if best.as_ref().is_none_or(|b| t < b.1) {
+            best = Some((p, t));
+        }
+    }
+    best.expect("grid search needs at least one candidate")
+}
+
+/// Brute-force grid search over DoubleR policies with budget ≤ `budget`.
+///
+/// For each delay pair `(d₁, d₂)` and each `q₁` fraction of the budget,
+/// `q₂` is set to exhaust the remaining budget per Inequality (16).
+/// Returns the best policy and its `k`-quantile. `O(grid³)` — test-scale
+/// only.
+pub fn optimal_double_r_grid(
+    x: &impl Cdf,
+    y: &impl Cdf,
+    k: f64,
+    budget: f64,
+    d_max: f64,
+    grid: usize,
+) -> (ReissuePolicy, f64) {
+    let hi0 = bracket_quantile(x, k, d_max);
+    let tol = 1e-6 * hi0.max(1.0);
+    let mut best: Option<(ReissuePolicy, f64)> = None;
+    for i in 0..=grid {
+        let d1 = d_max * i as f64 / grid as f64;
+        for j in i..=grid {
+            let d2 = d_max * j as f64 / grid as f64;
+            for l in 0..=grid {
+                // q1 consumes a fraction l/grid of the budget.
+                let q1 = ((budget * l as f64 / grid as f64) / x.sf(d1).max(1e-12)).min(1.0);
+                let spent1 = q1 * x.sf(d1);
+                // Inequality (16): q2 exhausts the remainder.
+                let denom = x.sf(d2).max(1e-12) * (1.0 - q1 * y.cdf(d2 - d1));
+                let q2 = ((budget - spent1) / denom.max(1e-12)).clamp(0.0, 1.0);
+                let p = ReissuePolicy::double_r(d1, q1, d2, q2);
+                if expected_budget(&p, x, y) > budget + 1e-9 {
+                    continue;
+                }
+                let t = policy_quantile(&p, x, y, k, hi0, tol);
+                if best.as_ref().is_none_or(|b| t < b.1) {
+                    best = Some((p, t));
+                }
+            }
+        }
+    }
+    best.expect("grid search needs at least one candidate")
+}
+
+/// An upper bound on any policy's `k`-quantile: the no-reissue quantile,
+/// found by doubling out from `d_max`.
+fn bracket_quantile(x: &impl Cdf, k: f64, d_max: f64) -> f64 {
+    let mut hi = d_max.max(1.0);
+    while x.cdf(hi) < k {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "failed to bracket quantile");
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::{Dist, Exponential, Pareto};
+
+    const K: f64 = 0.95;
+
+    #[test]
+    fn no_policy_matches_marginal() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(1.0);
+        for t in [0.1, 0.5, 1.0, 3.0] {
+            assert!(
+                (success_probability(&ReissuePolicy::None, &x, &y, t) - x.cdf(t)).abs() < 1e-12
+            );
+        }
+        assert_eq!(expected_budget(&ReissuePolicy::None, &x, &y), 0.0);
+    }
+
+    #[test]
+    fn single_d_equation_1() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(2.0);
+        let d = 0.7;
+        let p = ReissuePolicy::single_d(d);
+        for t in [0.8, 1.5, 3.0] {
+            let want = x.cdf(t) + x.sf(t) * y.cdf(t - d);
+            assert!((success_probability(&p, &x, &y, t) - want).abs() < 1e-12);
+        }
+        // Equation (2): B = Pr(X > d).
+        assert!((expected_budget(&p, &x, &y) - x.sf(d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_r_equation_3_and_4() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(1.0);
+        let (d, q) = (0.5, 0.3);
+        let p = ReissuePolicy::single_r(d, q);
+        for t in [0.6, 1.0, 2.0] {
+            let want = x.cdf(t) + q * x.sf(t) * y.cdf(t - d);
+            assert!((success_probability(&p, &x, &y, t) - want).abs() < 1e-12);
+        }
+        assert!((expected_budget(&p, &x, &y) - q * x.sf(d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_r_equation_8() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(1.0);
+        let (d1, q1, d2, q2) = (0.2, 0.4, 0.9, 0.6);
+        let p = ReissuePolicy::double_r(d1, q1, d2, q2);
+        for t in [1.0, 1.8, 4.0] {
+            let g1 = q1 * x.sf(t) * y.cdf(t - d1);
+            let g2 = q2 * (1.0 - q1 * y.cdf(t - d1)) * x.sf(t) * y.cdf(t - d2);
+            let want = x.cdf(t) + g1 + g2;
+            assert!(
+                (success_probability(&p, &x, &y, t) - want).abs() < 1e-12,
+                "t={t}"
+            );
+        }
+        // Budget matches Inequality (15)'s left side.
+        let want_b = q1 * x.sf(d1) + q2 * x.sf(d2) * (1.0 - q1 * y.cdf(d2 - d1));
+        assert!((expected_budget(&p, &x, &y) - want_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reissue_before_delay_cannot_help() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(1.0);
+        let p = ReissuePolicy::single_r(5.0, 1.0);
+        // For t < d the reissue has not happened yet.
+        assert!(
+            (success_probability(&p, &x, &y, 3.0) - x.cdf(3.0)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn success_monotone_in_t() {
+        let x = Pareto::paper_default();
+        let y = Pareto::paper_default();
+        let p = ReissuePolicy::single_r(4.0, 0.5);
+        let mut last = 0.0;
+        for i in 1..200 {
+            let t = i as f64 * 0.5;
+            let s = success_probability(&p, &x, &y, t);
+            assert!(s + 1e-12 >= last, "not monotone at t={t}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn policy_quantile_improves_tail() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(1.0);
+        let base = x.quantile(K);
+        let hedged = policy_quantile(
+            &ReissuePolicy::immediate(),
+            &x,
+            &y,
+            K,
+            base,
+            1e-9,
+        );
+        // Immediate duplicate of Exp(1): P95 of min of two ~ half.
+        assert!(hedged < base * 0.6, "hedged={hedged} base={base}");
+    }
+
+    #[test]
+    fn grid_single_r_beats_single_d_at_small_budget() {
+        // k=0.95 with budget 0.03 < 1-k: SingleD provably can't help.
+        let x = Pareto::paper_default();
+        let y = Pareto::paper_default();
+        let base = x.quantile(K);
+        let (p, t) = optimal_single_r_grid(&x, &y, K, 0.03, base * 2.0, 60);
+        assert!(t < base, "SingleR must improve: t={t} base={base}");
+        match p {
+            ReissuePolicy::SingleR { prob, .. } => assert!(prob < 1.0),
+            _ => panic!("expected SingleR"),
+        }
+    }
+
+    #[test]
+    fn budget_never_exceeded_by_grid_policies() {
+        let x = Exponential::new(0.1);
+        let y = Exponential::new(0.1);
+        for budget in [0.01, 0.05, 0.2, 0.5] {
+            let (p, _) = optimal_single_r_grid(&x, &y, K, budget, 60.0, 40);
+            assert!(expected_budget(&p, &x, &y) <= budget + 1e-9);
+        }
+    }
+
+    /// Numeric validation of Theorem 3.1: the optimal SingleR matches
+    /// the optimal DoubleR at equal budget (up to grid resolution).
+    #[test]
+    fn theorem_3_1_single_matches_double() {
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(1.0);
+        for budget in [0.02, 0.05, 0.10, 0.25] {
+            let d_max = x.quantile(0.999);
+            let (_, t_single) = optimal_single_r_grid(&x, &y, K, budget, d_max, 48);
+            let (_, t_double) = optimal_double_r_grid(&x, &y, K, budget, d_max, 16);
+            // DoubleR may never beat SingleR by more than grid noise.
+            assert!(
+                t_double >= t_single - 0.05 * t_single,
+                "budget={budget}: double {t_double} < single {t_single}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_1_heavy_tail() {
+        let x = Pareto::paper_default();
+        let y = Pareto::paper_default();
+        let budget = 0.1;
+        let d_max = x.quantile(0.995);
+        let (_, t_single) = optimal_single_r_grid(&x, &y, K, budget, d_max, 48);
+        let (_, t_double) = optimal_double_r_grid(&x, &y, K, budget, d_max, 16);
+        assert!(
+            t_double >= t_single - 0.05 * t_single,
+            "double {t_double} < single {t_single}"
+        );
+    }
+}

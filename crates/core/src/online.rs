@@ -1,0 +1,297 @@
+//! On-line policy adaptation for drifting workloads (§4.4, "varying
+//! load / response-time distributions").
+//!
+//! Production response-time distributions move on hourly/daily cycles.
+//! §4.3's batch loop re-optimizes between full runs; this module keeps
+//! the policy fresh *while the system serves traffic*: response times
+//! stream in, a sliding window holds the last `window` observations in
+//! order-statistic treaps (so quantiles and CDF evaluations stay
+//! `O(log n)` under churn), and every `reoptimize_every` completed
+//! queries the SingleR parameters are recomputed from the window with
+//! the same learning-rate damping as the batch loop.
+//!
+//! ```
+//! use reissue_core::online::{OnlineAdapter, OnlineConfig};
+//!
+//! let mut adapter = OnlineAdapter::new(OnlineConfig {
+//!     k: 0.95,
+//!     budget: 0.1,
+//!     window: 1_000,
+//!     reoptimize_every: 500,
+//!     learning_rate: 0.5,
+//! });
+//! // Feed observations as queries complete; consult the policy any time.
+//! for i in 0..2_000u32 {
+//!     adapter.observe_primary(f64::from(i % 100 + 1));
+//! }
+//! let policy = adapter.policy();
+//! assert!(policy.budget_used <= 0.1 + 1e-9);
+//! ```
+
+use crate::optimizer::{compute_optimal_single_r, OptimalSingleR};
+use rangequery::Treap;
+use std::collections::VecDeque;
+
+/// Configuration for [`OnlineAdapter`].
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineConfig {
+    /// Target tail percentile.
+    pub k: f64,
+    /// Reissue budget.
+    pub budget: f64,
+    /// Sliding-window size (observations retained).
+    pub window: usize,
+    /// Re-optimize after this many new primary observations.
+    pub reoptimize_every: usize,
+    /// Damping for delay updates, as in the §4.3 loop.
+    pub learning_rate: f64,
+}
+
+/// Streaming SingleR policy maintenance over a sliding window.
+///
+/// The window lives in two [`Treap`]s (primary and reissue response
+/// times) plus eviction queues, so inserts, evictions and the quantile
+/// probes the optimizer needs are all logarithmic. Re-optimization
+/// extracts the window as sorted vectors (`O(w)`) and runs the standard
+/// `ComputeOptimalSingleR`, then moves the live delay a `learning_rate`
+/// step toward the recommendation.
+#[derive(Clone, Debug)]
+pub struct OnlineAdapter {
+    cfg: OnlineConfig,
+    primary: Treap,
+    primary_order: VecDeque<f64>,
+    reissue: Treap,
+    reissue_order: VecDeque<f64>,
+    seen_since_opt: usize,
+    delay: f64,
+    probability: f64,
+    last_opt: Option<OptimalSingleR>,
+    reoptimizations: u64,
+}
+
+impl OnlineAdapter {
+    /// Creates an adapter with an inactive policy (no reissues until
+    /// enough data arrives).
+    ///
+    /// # Panics
+    /// Panics on out-of-range configuration.
+    pub fn new(cfg: OnlineConfig) -> Self {
+        assert!((0.0..1.0).contains(&cfg.k), "k must be in [0,1)");
+        assert!((0.0..=1.0).contains(&cfg.budget), "budget in [0,1]");
+        assert!(cfg.window >= 16, "window too small to estimate tails");
+        assert!(cfg.reoptimize_every >= 1);
+        assert!(
+            cfg.learning_rate > 0.0 && cfg.learning_rate <= 1.0,
+            "learning rate in (0,1]"
+        );
+        OnlineAdapter {
+            cfg,
+            primary: Treap::new(0xA11CE),
+            primary_order: VecDeque::with_capacity(cfg.window + 1),
+            reissue: Treap::new(0xB0B),
+            reissue_order: VecDeque::with_capacity(cfg.window + 1),
+            seen_since_opt: 0,
+            delay: 0.0,
+            probability: 0.0,
+            last_opt: None,
+            reoptimizations: 0,
+        }
+    }
+
+    /// Records a completed primary request's response time.
+    pub fn observe_primary(&mut self, response: f64) {
+        assert!(response.is_finite(), "response must be finite");
+        self.primary.insert(response);
+        self.primary_order.push_back(response);
+        if self.primary_order.len() > self.cfg.window {
+            let old = self.primary_order.pop_front().unwrap();
+            self.primary.remove(old);
+        }
+        self.seen_since_opt += 1;
+        if self.seen_since_opt >= self.cfg.reoptimize_every
+            && self.primary_order.len() >= self.cfg.window.min(64)
+        {
+            self.reoptimize();
+            self.seen_since_opt = 0;
+        }
+    }
+
+    /// Records a completed reissue request's response time (measured
+    /// from its own dispatch).
+    pub fn observe_reissue(&mut self, response: f64) {
+        assert!(response.is_finite(), "response must be finite");
+        self.reissue.insert(response);
+        self.reissue_order.push_back(response);
+        if self.reissue_order.len() > self.cfg.window {
+            let old = self.reissue_order.pop_front().unwrap();
+            self.reissue.remove(old);
+        }
+    }
+
+    fn reoptimize(&mut self) {
+        let rx = self.primary.to_sorted_vec();
+        // With no reissue observations yet, treat reissues as
+        // exchangeable with primaries (the batch loop's fallback).
+        let ry = if self.reissue.len() >= 16 {
+            self.reissue.to_sorted_vec()
+        } else {
+            rx.clone()
+        };
+        let opt = compute_optimal_single_r(&rx, &ry, self.cfg.k, self.cfg.budget);
+        // Damped update, as in §4.3.
+        self.delay += self.cfg.learning_rate * (opt.delay - self.delay);
+        let outstanding = 1.0 - self.primary.cdf(self.delay);
+        self.probability = if self.cfg.budget <= 0.0 {
+            0.0
+        } else if outstanding > 0.0 {
+            (self.cfg.budget / outstanding).min(1.0)
+        } else {
+            1.0
+        };
+        self.last_opt = Some(opt);
+        self.reoptimizations += 1;
+    }
+
+    /// The current policy parameters as an [`OptimalSingleR`] record
+    /// (delay/probability are the *live, damped* values; predictions
+    /// come from the last re-optimization).
+    pub fn policy(&self) -> OptimalSingleR {
+        let outstanding = if self.primary.is_empty() {
+            0.0
+        } else {
+            1.0 - self.primary.cdf(self.delay)
+        };
+        OptimalSingleR {
+            delay: self.delay,
+            probability: self.probability,
+            outstanding_at_delay: outstanding,
+            predicted_latency: self
+                .last_opt
+                .map_or(f64::NAN, |o| o.predicted_latency),
+            budget_used: self.probability * outstanding,
+            predicted_success: self.last_opt.map_or(f64::NAN, |o| o.predicted_success),
+        }
+    }
+
+    /// Current window quantile of primary response times, `O(log n)`.
+    pub fn window_quantile(&self, p: f64) -> Option<f64> {
+        self.primary.quantile(p)
+    }
+
+    /// Number of re-optimizations performed.
+    pub fn reoptimizations(&self) -> u64 {
+        self.reoptimizations
+    }
+
+    /// Observations currently held in the primary window.
+    pub fn window_len(&self) -> usize {
+        self.primary_order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::rng::seeded;
+    use distributions::{Exponential, Sample};
+
+    fn cfg() -> OnlineConfig {
+        OnlineConfig {
+            k: 0.95,
+            budget: 0.1,
+            window: 2_000,
+            reoptimize_every: 500,
+            learning_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn policy_respects_budget_on_stationary_stream() {
+        let mut a = OnlineAdapter::new(cfg());
+        let mut rng = seeded(1);
+        let d = Exponential::new(1.0);
+        for _ in 0..10_000 {
+            a.observe_primary(d.sample(&mut rng));
+        }
+        let p = a.policy();
+        assert!(a.reoptimizations() >= 4);
+        assert!(p.budget_used <= 0.1 + 1e-9, "budget {}", p.budget_used);
+        assert!(p.delay > 0.0);
+        // Exp(1) at B=0.1: optimal delay sits in the body, well below
+        // the P95 (≈3) — the SingleR advantage.
+        assert!(p.delay < 3.0, "delay {}", p.delay);
+    }
+
+    #[test]
+    fn adapts_to_distribution_shift() {
+        let mut a = OnlineAdapter::new(cfg());
+        let mut rng = seeded(2);
+        // Phase 1: fast service.
+        let fast = Exponential::new(1.0);
+        for _ in 0..4_000 {
+            a.observe_primary(fast.sample(&mut rng));
+        }
+        let d_fast = a.policy().delay;
+        // Phase 2: the service slows 10x; the delay must follow.
+        let slow = Exponential::new(0.1);
+        for _ in 0..6_000 {
+            a.observe_primary(slow.sample(&mut rng));
+        }
+        let d_slow = a.policy().delay;
+        assert!(
+            d_slow > 4.0 * d_fast,
+            "delay failed to track drift: {d_fast} -> {d_slow}"
+        );
+        // And the budget still holds under the new distribution.
+        assert!(a.policy().budget_used <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn window_eviction_bounds_memory() {
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            window: 100,
+            reoptimize_every: 50,
+            ..cfg()
+        });
+        let mut rng = seeded(3);
+        let d = Exponential::new(1.0);
+        for _ in 0..1_000 {
+            a.observe_primary(d.sample(&mut rng));
+        }
+        assert_eq!(a.window_len(), 100);
+        assert!(a.window_quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn reissue_observations_feed_optimizer() {
+        let mut a = OnlineAdapter::new(cfg());
+        let mut rng = seeded(4);
+        let d = Exponential::new(1.0);
+        // Reissues are much slower than primaries here: the optimizer
+        // should discount them (smaller predicted benefit).
+        for _ in 0..5_000 {
+            a.observe_primary(d.sample(&mut rng));
+            a.observe_reissue(10.0 * d.sample(&mut rng));
+        }
+        let p = a.policy();
+        assert!(p.budget_used <= 0.1 + 1e-9);
+        assert!(p.predicted_latency.is_finite());
+    }
+
+    #[test]
+    fn no_reissues_until_warmed_up() {
+        let a = OnlineAdapter::new(cfg());
+        let p = a.policy();
+        assert_eq!(p.probability, 0.0);
+        assert_eq!(a.window_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let _ = OnlineAdapter::new(OnlineConfig {
+            window: 4,
+            ..cfg()
+        });
+    }
+}

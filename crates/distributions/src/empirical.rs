@@ -1,0 +1,182 @@
+//! Empirical (trace-backed) distribution.
+
+use crate::{Cdf, Dist, Sample};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A distribution backed by observed samples.
+///
+/// Sampling draws uniformly from the trace (bootstrap resampling); the
+/// CDF is the empirical CDF. This is how measured engine service times
+/// (Redis set-intersection costs, Lucene search costs) are fed into the
+/// cluster simulator, and how `ComputeOptimalSingleR`'s inputs are
+/// modelled when treated as distributions.
+///
+/// The CDF here uses the *weak* inequality `Pr(X ≤ x)` as is
+/// conventional; the paper's `DiscreteCDF` (strict `<`) lives in
+/// `reissue-core`'s `Ecdf` where the optimizer needs it.
+#[derive(Clone, Debug)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+    mean: f64,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "Empirical needs at least one sample");
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "Empirical samples must not contain NaN"
+        );
+        samples.sort_by(f64::total_cmp);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Empirical {
+            sorted: samples,
+            mean,
+        }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the trace is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted underlying samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .sorted
+            .iter()
+            .map(|v| (v - self.mean) * (v - self.mean))
+            .sum::<f64>()
+            / (self.sorted.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        self.sorted[rng.gen_range(0..self.sorted.len())]
+    }
+}
+
+impl Cdf for Empirical {
+    fn cdf(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+}
+
+impl Dist for Empirical {
+    /// Nearest-rank quantile.
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        let n = self.sorted.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[rank]
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_stats() {
+        let e = Empirical::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 4.0);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(e.samples(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn cdf_is_weak_inequality() {
+        let e = Empirical::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(2.0), 0.75); // counts both 2.0s
+        assert_eq!(e.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let e = Empirical::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.95), 95.0);
+        assert_eq!(e.quantile(0.99), 99.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn sampling_stays_in_support() {
+        let e = Empirical::new(vec![5.0, 7.0, 7.5]);
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            let v = e.sample(&mut rng);
+            assert!(v == 5.0 || v == 7.0 || v == 7.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_panics() {
+        let _ = Empirical::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Empirical::new(vec![1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_cdf_consistency(
+            vals in proptest::collection::vec(-1e3f64..1e3, 1..200),
+            p in 0.01f64..1.0,
+        ) {
+            let e = Empirical::new(vals);
+            let q = e.quantile(p);
+            // At least p of the mass is ≤ q.
+            prop_assert!(e.cdf(q) + 1e-12 >= p);
+        }
+
+        #[test]
+        fn std_nonnegative(vals in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let e = Empirical::new(vals);
+            prop_assert!(e.std() >= 0.0);
+        }
+    }
+}

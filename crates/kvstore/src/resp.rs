@@ -1,0 +1,323 @@
+//! Minimal RESP2 (REdis Serialization Protocol) codec.
+//!
+//! Enough of the wire protocol to run [`crate::KvStore`] as an actual
+//! network server: commands arrive as RESP arrays of bulk strings and
+//! replies are encoded as simple strings, errors, integers, bulk
+//! strings or arrays. Incremental parsing: [`decode_command`] returns
+//! `Ok(None)` until a full frame is buffered.
+
+use crate::store::{Command, Reply};
+use bytes::{Buf, Bytes, BytesMut};
+
+/// Errors from protocol handling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RespError {
+    /// The frame is syntactically invalid RESP.
+    Protocol(String),
+    /// The frame parsed but isn't a command we support.
+    UnknownCommand(String),
+    /// Argument count or type is wrong for the command.
+    BadArguments(&'static str),
+}
+
+impl std::fmt::Display for RespError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RespError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RespError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            RespError::BadArguments(c) => write!(f, "wrong arguments for '{c}'"),
+        }
+    }
+}
+
+impl std::error::Error for RespError {}
+
+/// Encodes a reply into `out`.
+pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
+    match reply {
+        Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
+        Reply::Pong => out.extend_from_slice(b"+PONG\r\n"),
+        Reply::Str(s) => {
+            out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
+            out.extend_from_slice(s);
+            out.extend_from_slice(b"\r\n");
+        }
+        Reply::Int(i) => out.extend_from_slice(format!(":{i}\r\n").as_bytes()),
+        Reply::Members(ms) => {
+            out.extend_from_slice(format!("*{}\r\n", ms.len()).as_bytes());
+            for m in ms {
+                let s = m.to_string();
+                out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
+            }
+        }
+        Reply::Nil => out.extend_from_slice(b"$-1\r\n"),
+        Reply::Error(e) => {
+            out.extend_from_slice(b"-ERR ");
+            out.extend_from_slice(e.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+/// Attempts to decode one command frame from `buf`.
+///
+/// Returns `Ok(Some(cmd))` and consumes the frame on success,
+/// `Ok(None)` if more bytes are needed (buffer untouched), or an error
+/// for malformed or unsupported input (buffer consumed through the
+/// frame when determinable).
+pub fn decode_command(buf: &mut BytesMut) -> Result<Option<Command>, RespError> {
+    let mut probe = Cursor { buf, pos: 0 };
+    let args = match probe.parse_array()? {
+        Some(a) => a,
+        None => return Ok(None),
+    };
+    let consumed = probe.pos;
+    buf.advance(consumed);
+
+    if args.is_empty() {
+        return Err(RespError::Protocol("empty command array".into()));
+    }
+    let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+    let arity = args.len() - 1;
+    let arg = |i: usize| Bytes::copy_from_slice(&args[i]);
+    let int_arg = |i: usize| -> Result<u32, RespError> {
+        std::str::from_utf8(&args[i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(RespError::BadArguments("integer member expected"))
+    };
+
+    match name.as_str() {
+        "PING" => Ok(Some(Command::Ping)),
+        "GET" if arity == 1 => Ok(Some(Command::Get(arg(1)))),
+        "SET" if arity == 2 => Ok(Some(Command::Set(arg(1), arg(2)))),
+        "DEL" if arity == 1 => Ok(Some(Command::Del(arg(1)))),
+        "SADD" if arity >= 2 => {
+            let mut members = Vec::with_capacity(arity - 1);
+            for i in 2..args.len() {
+                members.push(int_arg(i)?);
+            }
+            Ok(Some(Command::SAdd(arg(1), members)))
+        }
+        "SCARD" if arity == 1 => Ok(Some(Command::SCard(arg(1)))),
+        "SINTER" if arity == 2 => Ok(Some(Command::SInter(arg(1), arg(2)))),
+        "SINTERCARD" if arity == 2 => Ok(Some(Command::SInterCard(arg(1), arg(2)))),
+        "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SINTER" | "SINTERCARD" => {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+        other => Err(RespError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Encodes a command as a RESP array (client side).
+pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
+    fn bulk(out: &mut BytesMut, s: &[u8]) {
+        out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
+        out.extend_from_slice(s);
+        out.extend_from_slice(b"\r\n");
+    }
+    let parts: Vec<Vec<u8>> = match cmd {
+        Command::Ping => vec![b"PING".to_vec()],
+        Command::Get(k) => vec![b"GET".to_vec(), k.to_vec()],
+        Command::Set(k, v) => vec![b"SET".to_vec(), k.to_vec(), v.to_vec()],
+        Command::Del(k) => vec![b"DEL".to_vec(), k.to_vec()],
+        Command::SAdd(k, ms) => {
+            let mut p = vec![b"SADD".to_vec(), k.to_vec()];
+            p.extend(ms.iter().map(|m| m.to_string().into_bytes()));
+            p
+        }
+        Command::SCard(k) => vec![b"SCARD".to_vec(), k.to_vec()],
+        Command::SInter(a, b) => vec![b"SINTER".to_vec(), a.to_vec(), b.to_vec()],
+        Command::SInterCard(a, b) => {
+            vec![b"SINTERCARD".to_vec(), a.to_vec(), b.to_vec()]
+        }
+    };
+    out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
+    for p in parts {
+        bulk(out, &p);
+    }
+}
+
+/// A non-consuming parse cursor over the input buffer.
+struct Cursor<'a> {
+    buf: &'a BytesMut,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn line(&mut self) -> Result<Option<&[u8]>, RespError> {
+        let rest = &self.buf[self.pos..];
+        match rest.windows(2).position(|w| w == b"\r\n") {
+            Some(i) => {
+                let line = &rest[..i];
+                self.pos += i + 2;
+                Ok(Some(line))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Option<Vec<Vec<u8>>>, RespError> {
+        let header = match self.line()? {
+            Some(l) => l.to_vec(),
+            None => return Ok(None),
+        };
+        if header.first() != Some(&b'*') {
+            return Err(RespError::Protocol("expected array".into()));
+        }
+        let n: usize = std::str::from_utf8(&header[1..])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| RespError::Protocol("bad array length".into()))?;
+        if n > 1_000_000 {
+            return Err(RespError::Protocol("array too large".into()));
+        }
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.parse_bulk()? {
+                Some(b) => items.push(b),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(items))
+    }
+
+    fn parse_bulk(&mut self) -> Result<Option<Vec<u8>>, RespError> {
+        let header = match self.line()? {
+            Some(l) => l.to_vec(),
+            None => return Ok(None),
+        };
+        if header.first() != Some(&b'$') {
+            return Err(RespError::Protocol("expected bulk string".into()));
+        }
+        let len: usize = std::str::from_utf8(&header[1..])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
+        if len > 64 * 1024 * 1024 {
+            return Err(RespError::Protocol("bulk too large".into()));
+        }
+        if self.buf.len() < self.pos + len + 2 {
+            return Ok(None);
+        }
+        let data = self.buf[self.pos..self.pos + len].to_vec();
+        if &self.buf[self.pos + len..self.pos + len + 2] != b"\r\n" {
+            return Err(RespError::Protocol("missing bulk terminator".into()));
+        }
+        self.pos += len + 2;
+        Ok(Some(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(s: &[u8]) -> BytesMut {
+        BytesMut::from(s)
+    }
+
+    #[test]
+    fn decode_simple_get() {
+        let mut b = buf(b"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n");
+        let cmd = decode_command(&mut b).unwrap().unwrap();
+        assert_eq!(cmd, Command::Get(Bytes::from_static(b"foo")));
+        assert!(b.is_empty(), "frame fully consumed");
+    }
+
+    #[test]
+    fn decode_incremental() {
+        let full = b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n";
+        for cut in 1..full.len() {
+            let mut b = buf(&full[..cut]);
+            assert_eq!(decode_command(&mut b).unwrap(), None, "cut={cut}");
+            assert_eq!(b.len(), cut, "partial input untouched");
+        }
+        let mut b = buf(full);
+        assert!(decode_command(&mut b).unwrap().is_some());
+    }
+
+    #[test]
+    fn decode_sadd_with_members() {
+        let mut b = buf(b"*4\r\n$4\r\nSADD\r\n$1\r\ns\r\n$1\r\n7\r\n$2\r\n42\r\n");
+        let cmd = decode_command(&mut b).unwrap().unwrap();
+        assert_eq!(cmd, Command::SAdd(Bytes::from_static(b"s"), vec![7, 42]));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut b = buf(b"+OK\r\n");
+        assert!(matches!(
+            decode_command(&mut b),
+            Err(RespError::Protocol(_))
+        ));
+        let mut b = buf(b"*1\r\n$7\r\nFLUSHDB\r\n");
+        assert!(matches!(
+            decode_command(&mut b),
+            Err(RespError::UnknownCommand(_))
+        ));
+        let mut b = buf(b"*1\r\n$3\r\nGET\r\n"); // missing key
+        assert!(matches!(
+            decode_command(&mut b),
+            Err(RespError::BadArguments(_))
+        ));
+        let mut b = buf(b"*3\r\n$4\r\nSADD\r\n$1\r\ns\r\n$3\r\nabc\r\n");
+        assert!(matches!(
+            decode_command(&mut b),
+            Err(RespError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn command_roundtrip_through_codec() {
+        let cmds = vec![
+            Command::Ping,
+            Command::Get(Bytes::from_static(b"k")),
+            Command::Set(Bytes::from_static(b"k"), Bytes::from_static(b"value")),
+            Command::Del(Bytes::from_static(b"k")),
+            Command::SAdd(Bytes::from_static(b"s"), vec![1, 2, 3]),
+            Command::SCard(Bytes::from_static(b"s")),
+            Command::SInter(Bytes::from_static(b"a"), Bytes::from_static(b"b")),
+            Command::SInterCard(Bytes::from_static(b"a"), Bytes::from_static(b"b")),
+        ];
+        for cmd in cmds {
+            let mut wire = BytesMut::new();
+            encode_command(&cmd, &mut wire);
+            let decoded = decode_command(&mut wire).unwrap().unwrap();
+            assert_eq!(decoded, cmd);
+            assert!(wire.is_empty());
+        }
+    }
+
+    #[test]
+    fn encode_replies() {
+        let cases: Vec<(Reply, &[u8])> = vec![
+            (Reply::Ok, b"+OK\r\n"),
+            (Reply::Pong, b"+PONG\r\n"),
+            (Reply::Int(-7), b":-7\r\n"),
+            (Reply::Nil, b"$-1\r\n"),
+            (Reply::Str(Bytes::from_static(b"hi")), b"$2\r\nhi\r\n"),
+            (
+                Reply::Members(vec![10, 2]),
+                b"*2\r\n$2\r\n10\r\n$1\r\n2\r\n",
+            ),
+            (Reply::Error("boom".into()), b"-ERR boom\r\n"),
+        ];
+        for (reply, want) in cases {
+            let mut out = BytesMut::new();
+            encode_reply(&reply, &mut out);
+            assert_eq!(&out[..], want);
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut b = buf(b"*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nGET\r\n$1\r\nx\r\n");
+        assert_eq!(decode_command(&mut b).unwrap(), Some(Command::Ping));
+        assert_eq!(
+            decode_command(&mut b).unwrap(),
+            Some(Command::Get(Bytes::from_static(b"x")))
+        );
+        assert_eq!(decode_command(&mut b).unwrap(), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! The keyspace and command interpreter.
+
+use crate::sets::IntSet;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A stored value: a binary string or an integer set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A binary-safe string.
+    Str(Bytes),
+    /// A sorted integer set.
+    Set(IntSet),
+}
+
+/// A command against the store — the subset of Redis the paper's
+/// workload needs, plus basics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Liveness check.
+    Ping,
+    /// Read a string key.
+    Get(Bytes),
+    /// Write a string key.
+    Set(Bytes, Bytes),
+    /// Delete a key; replies with the number of keys removed.
+    Del(Bytes),
+    /// Add members to a set key; replies with the number newly added.
+    SAdd(Bytes, Vec<u32>),
+    /// Cardinality of a set key.
+    SCard(Bytes),
+    /// Intersect two set keys (the paper's stored-procedure workload).
+    SInter(Bytes, Bytes),
+    /// Cardinality of the intersection of two set keys.
+    SInterCard(Bytes, Bytes),
+}
+
+/// A command reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `+OK`.
+    Ok,
+    /// `+PONG`.
+    Pong,
+    /// A bulk string.
+    Str(Bytes),
+    /// An integer.
+    Int(i64),
+    /// A set payload (member array).
+    Members(Vec<u32>),
+    /// Key missing (`$-1`).
+    Nil,
+    /// An error, e.g. type mismatch.
+    Error(String),
+}
+
+/// The in-memory store: a flat keyspace with command execution.
+///
+/// Every mutation or query returns `(Reply, cost)` where `cost` counts
+/// elementary operations; key lookups cost 1 and set operations add
+/// their intersection work. The workload layer converts cost to
+/// service time deterministically.
+#[derive(Clone, Debug, Default)]
+pub struct KvStore {
+    map: HashMap<Bytes, Value>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the keyspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Direct (non-command) set insertion used by the dataset loader.
+    pub fn load_set(&mut self, key: impl Into<Bytes>, set: IntSet) {
+        self.map.insert(key.into(), Value::Set(set));
+    }
+
+    /// Borrow a set value if the key holds one.
+    pub fn get_set(&self, key: &[u8]) -> Option<&IntSet> {
+        match self.map.get(key) {
+            Some(Value::Set(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Executes a command, returning the reply and its cost in
+    /// elementary operations.
+    pub fn execute(&mut self, cmd: &Command) -> (Reply, u64) {
+        match cmd {
+            Command::Ping => (Reply::Pong, 1),
+            Command::Get(k) => match self.map.get(k) {
+                Some(Value::Str(s)) => (Reply::Str(s.clone()), 1),
+                Some(Value::Set(_)) => (Reply::Error("WRONGTYPE".into()), 1),
+                None => (Reply::Nil, 1),
+            },
+            Command::Set(k, v) => {
+                self.map.insert(k.clone(), Value::Str(v.clone()));
+                (Reply::Ok, 1)
+            }
+            Command::Del(k) => {
+                let n = i64::from(self.map.remove(k).is_some());
+                (Reply::Int(n), 1)
+            }
+            Command::SAdd(k, members) => {
+                let entry = self
+                    .map
+                    .entry(k.clone())
+                    .or_insert_with(|| Value::Set(IntSet::new()));
+                match entry {
+                    Value::Set(s) => {
+                        let mut added = 0;
+                        for &m in members {
+                            added += i64::from(s.insert(m));
+                        }
+                        (Reply::Int(added), 1 + members.len() as u64)
+                    }
+                    Value::Str(_) => (Reply::Error("WRONGTYPE".into()), 1),
+                }
+            }
+            Command::SCard(k) => match self.map.get(k) {
+                Some(Value::Set(s)) => (Reply::Int(s.len() as i64), 1),
+                Some(Value::Str(_)) => (Reply::Error("WRONGTYPE".into()), 1),
+                None => (Reply::Int(0), 1),
+            },
+            // SINTER costs follow Redis's iterate-small/probe-large
+            // profile (see `IntSet::intersect_probe`); the result is
+            // identical to the adaptive merge.
+            Command::SInter(a, b) => match (self.map.get(a), self.map.get(b)) {
+                (Some(Value::Set(sa)), Some(Value::Set(sb))) => {
+                    let (r, cost) = sa.intersect_probe(sb);
+                    (Reply::Members(r.as_slice().to_vec()), 2 + cost)
+                }
+                (None, _) | (_, None) => (Reply::Members(Vec::new()), 2),
+                _ => (Reply::Error("WRONGTYPE".into()), 2),
+            },
+            Command::SInterCard(a, b) => match (self.map.get(a), self.map.get(b)) {
+                (Some(Value::Set(sa)), Some(Value::Set(sb))) => {
+                    let (r, cost) = sa.intersect_probe(sb);
+                    (Reply::Int(r.len() as i64), 2 + cost)
+                }
+                (None, _) | (_, None) => (Reply::Int(0), 2),
+                _ => (Reply::Error("WRONGTYPE".into()), 2),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.execute(&Command::Get(b("k"))).0, Reply::Nil);
+        assert_eq!(kv.execute(&Command::Set(b("k"), b("v"))).0, Reply::Ok);
+        assert_eq!(kv.execute(&Command::Get(b("k"))).0, Reply::Str(b("v")));
+        assert_eq!(kv.execute(&Command::Del(b("k"))).0, Reply::Int(1));
+        assert_eq!(kv.execute(&Command::Del(b("k"))).0, Reply::Int(0));
+    }
+
+    #[test]
+    fn set_commands() {
+        let mut kv = KvStore::new();
+        assert_eq!(
+            kv.execute(&Command::SAdd(b("s"), vec![3, 1, 3])).0,
+            Reply::Int(2)
+        );
+        assert_eq!(kv.execute(&Command::SCard(b("s"))).0, Reply::Int(2));
+        assert_eq!(kv.execute(&Command::SCard(b("missing"))).0, Reply::Int(0));
+    }
+
+    #[test]
+    fn sinter_returns_sorted_members() {
+        let mut kv = KvStore::new();
+        kv.execute(&Command::SAdd(b("a"), vec![1, 2, 3, 4]));
+        kv.execute(&Command::SAdd(b("b"), vec![4, 2, 9]));
+        let (reply, cost) = kv.execute(&Command::SInter(b("a"), b("b")));
+        assert_eq!(reply, Reply::Members(vec![2, 4]));
+        assert!(cost > 2);
+        let (reply, _) = kv.execute(&Command::SInterCard(b("a"), b("b")));
+        assert_eq!(reply, Reply::Int(2));
+    }
+
+    #[test]
+    fn sinter_with_missing_key_is_empty() {
+        let mut kv = KvStore::new();
+        kv.execute(&Command::SAdd(b("a"), vec![1]));
+        assert_eq!(
+            kv.execute(&Command::SInter(b("a"), b("nope"))).0,
+            Reply::Members(vec![])
+        );
+    }
+
+    #[test]
+    fn wrongtype_errors() {
+        let mut kv = KvStore::new();
+        kv.execute(&Command::Set(b("k"), b("v")));
+        assert!(matches!(
+            kv.execute(&Command::SAdd(b("k"), vec![1])).0,
+            Reply::Error(_)
+        ));
+        assert!(matches!(
+            kv.execute(&Command::SCard(b("k"))).0,
+            Reply::Error(_)
+        ));
+        kv.execute(&Command::SAdd(b("s"), vec![1]));
+        assert!(matches!(
+            kv.execute(&Command::Get(b("s"))).0,
+            Reply::Error(_)
+        ));
+        assert!(matches!(
+            kv.execute(&Command::SInter(b("k"), b("s"))).0,
+            Reply::Error(_)
+        ));
+    }
+
+    #[test]
+    fn cost_scales_with_set_size() {
+        let mut kv = KvStore::new();
+        kv.load_set("big1", IntSet::from_unsorted((0..10_000).collect()));
+        kv.load_set("big2", IntSet::from_unsorted((5_000..15_000).collect()));
+        kv.load_set("small1", IntSet::from_unsorted(vec![1, 2]));
+        kv.load_set("small2", IntSet::from_unsorted(vec![2, 3]));
+        let (_, big_cost) = kv.execute(&Command::SInter(b("big1"), b("big2")));
+        let (_, small_cost) = kv.execute(&Command::SInter(b("small1"), b("small2")));
+        assert!(
+            big_cost > 100 * small_cost,
+            "big={big_cost} small={small_cost}"
+        );
+    }
+
+    #[test]
+    fn ping_and_len() {
+        let mut kv = KvStore::new();
+        assert!(kv.is_empty());
+        assert_eq!(kv.execute(&Command::Ping).0, Reply::Pong);
+        kv.execute(&Command::Set(b("a"), b("1")));
+        assert_eq!(kv.len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Binary indexed (Fenwick) tree over `usize` counts.
+
+/// A Fenwick tree (binary indexed tree) maintaining an array of
+/// non-negative counts with `O(log n)` point updates and prefix sums.
+///
+/// Indices are `0..n`. The tree is used by the correlation-aware
+/// optimizer as the sweep-line structure: response-time pairs are
+/// inserted by descending primary time and prefix sums over reissue-time
+/// ranks yield `|{ i : xᵢ > t ∧ yᵢ ≤ v }|`.
+///
+/// # Examples
+/// ```
+/// let mut ft = rangequery::FenwickTree::new(8);
+/// ft.add(3, 2);
+/// ft.add(5, 1);
+/// assert_eq!(ft.prefix_sum(3), 0); // indices 0..3
+/// assert_eq!(ft.prefix_sum(4), 2); // indices 0..4
+/// assert_eq!(ft.total(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FenwickTree {
+    tree: Vec<u64>,
+}
+
+impl FenwickTree {
+    /// Creates a tree over `n` zero-initialized slots.
+    pub fn new(n: usize) -> Self {
+        FenwickTree {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Whether the tree has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to slot `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn add(&mut self, i: usize, delta: u64) {
+        assert!(i < self.len(), "index {i} out of bounds {}", self.len());
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..i` (exclusive upper bound). `i` may equal `len()`.
+    pub fn prefix_sum(&self, i: usize) -> u64 {
+        let mut i = i.min(self.len());
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the half-open range `lo..hi`.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        self.prefix_sum(hi) - self.prefix_sum(lo)
+    }
+
+    /// Sum of all slots.
+    pub fn total(&self) -> u64 {
+        self.prefix_sum(self.len())
+    }
+
+    /// Smallest index `i` such that `prefix_sum(i + 1) >= target`,
+    /// or `None` if `target > total()`. `target` must be at least 1.
+    ///
+    /// This is the classic Fenwick "select" used to answer quantile
+    /// queries over a dynamic multiset in `O(log n)`.
+    pub fn select(&self, target: u64) -> Option<usize> {
+        if target == 0 || target > self.total() {
+            return None;
+        }
+        let mut pos = 0usize;
+        let mut remaining = target;
+        // Highest power of two <= len
+        let mut step = self.tree.len().next_power_of_two();
+        if step > self.tree.len() {
+            step >>= 1;
+        }
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        Some(pos) // pos is 0-based slot index (pos+1 in 1-based tree terms, minus 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree() {
+        let ft = FenwickTree::new(0);
+        assert!(ft.is_empty());
+        assert_eq!(ft.total(), 0);
+        assert_eq!(ft.prefix_sum(0), 0);
+        assert_eq!(ft.select(1), None);
+    }
+
+    #[test]
+    fn single_slot() {
+        let mut ft = FenwickTree::new(1);
+        assert_eq!(ft.total(), 0);
+        ft.add(0, 5);
+        assert_eq!(ft.prefix_sum(0), 0);
+        assert_eq!(ft.prefix_sum(1), 5);
+        assert_eq!(ft.select(1), Some(0));
+        assert_eq!(ft.select(5), Some(0));
+        assert_eq!(ft.select(6), None);
+    }
+
+    #[test]
+    fn range_sum_basic() {
+        let mut ft = FenwickTree::new(10);
+        for i in 0..10 {
+            ft.add(i, (i + 1) as u64);
+        }
+        assert_eq!(ft.range_sum(0, 10), 55);
+        assert_eq!(ft.range_sum(3, 7), 4 + 5 + 6 + 7);
+        assert_eq!(ft.range_sum(7, 3), 0);
+        assert_eq!(ft.range_sum(4, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics() {
+        let mut ft = FenwickTree::new(4);
+        ft.add(4, 1);
+    }
+
+    #[test]
+    fn select_matches_scan() {
+        let mut ft = FenwickTree::new(16);
+        let counts = [0u64, 3, 0, 0, 2, 7, 0, 1, 0, 0, 4, 0, 0, 0, 0, 9];
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                ft.add(i, c);
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        for target in 1..=total {
+            let mut acc = 0;
+            let mut expect = None;
+            for (i, &c) in counts.iter().enumerate() {
+                acc += c;
+                if acc >= target {
+                    expect = Some(i);
+                    break;
+                }
+            }
+            assert_eq!(ft.select(target), expect, "target {target}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prefix_sums_match_oracle(counts in proptest::collection::vec(0u64..20, 0..200)) {
+            let mut ft = FenwickTree::new(counts.len());
+            for (i, &c) in counts.iter().enumerate() {
+                ft.add(i, c);
+            }
+            let mut acc = 0u64;
+            for i in 0..=counts.len() {
+                prop_assert_eq!(ft.prefix_sum(i), acc);
+                if i < counts.len() {
+                    acc += counts[i];
+                }
+            }
+        }
+
+        #[test]
+        fn select_is_inverse_of_prefix(counts in proptest::collection::vec(0u64..5, 1..100)) {
+            let mut ft = FenwickTree::new(counts.len());
+            for (i, &c) in counts.iter().enumerate() {
+                ft.add(i, c);
+            }
+            let total = ft.total();
+            prop_assume!(total > 0);
+            for target in 1..=total {
+                let i = ft.select(target).unwrap();
+                prop_assert!(ft.prefix_sum(i + 1) >= target);
+                prop_assert!(ft.prefix_sum(i) < target);
+            }
+        }
+    }
+}

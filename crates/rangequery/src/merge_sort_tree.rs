@@ -1,0 +1,269 @@
+//! Static merge-sort tree for 2-D dominance counting.
+
+/// A merge-sort tree over a set of points `(x, y)`.
+///
+/// Supports the dominance count `|{ i : xᵢ > qx ∧ yᵢ ≤ qy }|` (and the
+/// companion `x > qx` total) in `O(log² n)`, with `O(n log n)` space and
+/// construction. This is the general orthogonal range counting structure
+/// the paper cites (Lueker'78, Agarwal'96) for estimating the conditional
+/// distribution `Pr(Y ≤ t−d | X > t)` from joint response-time samples:
+///
+/// ```text
+/// Pr(Y ≤ v | X > t) ≈ count_above_le(t, v) / count_above(t)
+/// ```
+///
+/// The optimizer's hot path exploits query monotonicity with a Fenwick
+/// sweep instead (see `reissue-core`); the tree is retained for arbitrary
+/// (non-monotone) query patterns — e.g. interactive exploration of a
+/// latency log — and as the oracle the sweep is tested against.
+///
+/// Internally this is a segment tree over the x-sorted point order where
+/// each node stores the sorted multiset of `y` values in its range.
+#[derive(Clone, Debug)]
+pub struct MergeSortTree {
+    /// x-coordinates in non-decreasing order.
+    xs: Vec<f64>,
+    /// `node_ys[v]` = sorted y values of the points in node v's range.
+    node_ys: Vec<Vec<f64>>,
+    /// Number of leaves (next power of two ≥ n), 0 when empty.
+    size: usize,
+}
+
+impl MergeSortTree {
+    /// Builds the tree from unsorted points. `O(n log n)`.
+    pub fn new(points: &[(f64, f64)]) -> Self {
+        let mut pts: Vec<(f64, f64)> = points.to_vec();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let n = pts.len();
+        if n == 0 {
+            return MergeSortTree {
+                xs: Vec::new(),
+                node_ys: Vec::new(),
+                size: 0,
+            };
+        }
+        let size = n.next_power_of_two();
+        let mut node_ys: Vec<Vec<f64>> = vec![Vec::new(); 2 * size];
+        for (i, p) in pts.iter().enumerate() {
+            node_ys[size + i] = vec![p.1];
+        }
+        for v in (1..size).rev() {
+            let (left, right) = (2 * v, 2 * v + 1);
+            let mut merged = Vec::with_capacity(node_ys[left].len() + node_ys[right].len());
+            let (a, b) = (&node_ys[left], &node_ys[right]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            node_ys[v] = merged;
+        }
+        MergeSortTree {
+            xs: pts.iter().map(|p| p.0).collect(),
+            node_ys,
+            size,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Count of points with `x > qx`.
+    pub fn count_above(&self, qx: f64) -> usize {
+        self.xs.len() - self.xs.partition_point(|&x| x <= qx)
+    }
+
+    /// Count of points with `x > qx` **and** `y ≤ qy`. `O(log² n)`.
+    pub fn count_above_le(&self, qx: f64, qy: f64) -> usize {
+        let lo = self.xs.partition_point(|&x| x <= qx);
+        self.count_range_le(lo, self.xs.len(), qy)
+    }
+
+    /// Count of points with x-sorted index in `lo..hi` and `y ≤ qy`.
+    pub fn count_range_le(&self, lo: usize, hi: usize, qy: f64) -> usize {
+        let n = self.xs.len();
+        let (lo, hi) = (lo.min(n), hi.min(n));
+        if hi <= lo {
+            return 0;
+        }
+        // Standard iterative segment-tree range walk.
+        let mut count = 0usize;
+        let mut l = lo + self.size;
+        let mut r = hi + self.size;
+        while l < r {
+            if l & 1 == 1 {
+                count += Self::sorted_count_le(&self.node_ys[l], qy);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                count += Self::sorted_count_le(&self.node_ys[r], qy);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        count
+    }
+
+    /// Estimate of the conditional probability `Pr(Y ≤ qy | X > qx)`.
+    ///
+    /// Returns `None` when no sample has `x > qx` (the condition has an
+    /// empty support).
+    pub fn conditional_cdf(&self, qx: f64, qy: f64) -> Option<f64> {
+        let denom = self.count_above(qx);
+        if denom == 0 {
+            None
+        } else {
+            Some(self.count_above_le(qx, qy) as f64 / denom as f64)
+        }
+    }
+
+    fn sorted_count_le(sorted: &[f64], qy: f64) -> usize {
+        sorted.partition_point(|&y| y <= qy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute(points: &[(f64, f64)], qx: f64, qy: f64) -> usize {
+        points.iter().filter(|p| p.0 > qx && p.1 <= qy).count()
+    }
+
+    #[test]
+    fn empty() {
+        let t = MergeSortTree::new(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.count_above(0.0), 0);
+        assert_eq!(t.count_above_le(0.0, 0.0), 0);
+        assert_eq!(t.conditional_cdf(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = MergeSortTree::new(&[(1.0, 2.0)]);
+        assert_eq!(t.count_above_le(0.0, 2.0), 1);
+        assert_eq!(t.count_above_le(0.0, 1.9), 0);
+        assert_eq!(t.count_above_le(1.0, 2.0), 0); // strict x >
+        assert_eq!(t.count_above(0.5), 1);
+        assert_eq!(t.count_above(1.0), 0);
+        assert_eq!(t.conditional_cdf(0.0, 2.0), Some(1.0));
+        assert_eq!(t.conditional_cdf(1.0, 2.0), None);
+    }
+
+    #[test]
+    fn small_fixed_case() {
+        let pts = [
+            (1.0, 5.0),
+            (2.0, 3.0),
+            (3.0, 8.0),
+            (4.0, 1.0),
+            (5.0, 9.0),
+            (6.0, 2.0),
+            (7.0, 7.0),
+        ];
+        let t = MergeSortTree::new(&pts);
+        for qx in [-1.0, 0.0, 1.0, 2.5, 3.0, 4.5, 6.0, 7.0, 8.0] {
+            for qy in [-1.0, 0.0, 1.0, 2.0, 3.5, 5.0, 8.0, 9.0, 10.0] {
+                assert_eq!(
+                    t.count_above_le(qx, qy),
+                    brute(&pts, qx, qy),
+                    "qx={qx} qy={qy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 13, 31, 100, 127] {
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let x = (i * 37 % n) as f64;
+                    let y = (i * 61 % (n + 3)) as f64;
+                    (x, y)
+                })
+                .collect();
+            let t = MergeSortTree::new(&pts);
+            for qx in 0..n {
+                let qy = (qx * 3 % (n + 3)) as f64;
+                assert_eq!(
+                    t.count_above_le(qx as f64, qy),
+                    brute(&pts, qx as f64, qy),
+                    "n={n} qx={qx} qy={qy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_cdf_matches_ratio() {
+        let pts = [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0), (4.0, 40.0)];
+        let t = MergeSortTree::new(&pts);
+        // X > 2 leaves {(3,30),(4,40)}; Y ≤ 30 matches one of two.
+        assert_eq!(t.conditional_cdf(2.0, 30.0), Some(0.5));
+        assert_eq!(t.conditional_cdf(2.0, 5.0), Some(0.0));
+        assert_eq!(t.conditional_cdf(2.0, 100.0), Some(1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(
+            pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..200),
+            queries in proptest::collection::vec((-120.0f64..120.0, -120.0f64..120.0), 0..50),
+        ) {
+            let t = MergeSortTree::new(&pts);
+            for (qx, qy) in queries {
+                prop_assert_eq!(t.count_above_le(qx, qy), brute(&pts, qx, qy));
+            }
+        }
+
+        #[test]
+        fn duplicates_handled(
+            pts in proptest::collection::vec((0.0f64..3.0, 0.0f64..3.0), 0..100),
+        ) {
+            // Coarse grid forces many duplicate coordinates.
+            let pts: Vec<(f64, f64)> =
+                pts.iter().map(|p| (p.0.floor(), p.1.floor())).collect();
+            let t = MergeSortTree::new(&pts);
+            for qx in [-1.0, 0.0, 1.0, 2.0, 3.0] {
+                for qy in [-1.0, 0.0, 1.0, 2.0, 3.0] {
+                    prop_assert_eq!(t.count_above_le(qx, qy), brute(&pts, qx, qy));
+                }
+            }
+        }
+
+        #[test]
+        fn range_le_matches_brute(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..150),
+            lo in 0usize..160,
+            span in 0usize..160,
+            qy in -60.0f64..60.0,
+        ) {
+            let t = MergeSortTree::new(&pts);
+            let mut sorted = pts.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let n = sorted.len();
+            let lo = lo.min(n);
+            let hi = (lo + span).min(n);
+            let expect = sorted[lo..hi].iter().filter(|p| p.1 <= qy).count();
+            prop_assert_eq!(t.count_range_le(lo, hi, qy), expect);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Randomized order-statistic treap over `f64` keys.
+
+/// A balanced binary search tree (treap) with order statistics over
+/// `f64` keys, allowing duplicates.
+///
+/// The treap serves as the *dynamic* empirical CDF used by the adaptive
+/// optimizer: response times stream in one at a time and rank /
+/// quantile queries interleave with insertions, all in expected
+/// `O(log n)`. Heap priorities come from a deterministic xorshift
+/// stream seeded at construction, so a given insertion order always
+/// produces the same tree.
+///
+/// # Examples
+/// ```
+/// let mut t = rangequery::Treap::new(42);
+/// for v in [5.0, 1.0, 3.0, 3.0] { t.insert(v); }
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.count_less(3.0), 1);
+/// assert_eq!(t.select(0), Some(1.0));   // smallest
+/// assert_eq!(t.select(3), Some(5.0));   // largest
+/// assert!(t.remove(3.0));
+/// assert_eq!(t.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Treap {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    free: Vec<usize>,
+    rng_state: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: f64,
+    priority: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// Subtree size including this node.
+    size: usize,
+}
+
+impl Treap {
+    /// Creates an empty treap whose priorities are derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Treap {
+            nodes: Vec::new(),
+            root: None,
+            free: Vec::new(),
+            // Avoid the xorshift fixed point at 0.
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Number of stored keys (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.root.map_or(0, |r| self.nodes[r].size)
+    }
+
+    /// Whether the treap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn size(&self, n: Option<usize>) -> usize {
+        n.map_or(0, |i| self.nodes[i].size)
+    }
+
+    fn update(&mut self, i: usize) {
+        let s = 1 + self.size(self.nodes[i].left) + self.size(self.nodes[i].right);
+        self.nodes[i].size = s;
+    }
+
+    fn alloc(&mut self, key: f64, priority: u64) -> usize {
+        let node = Node {
+            key,
+            priority,
+            left: None,
+            right: None,
+            size: 1,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Splits subtree `n` into (< key, ≥ key).
+    fn split(&mut self, n: Option<usize>, key: f64) -> (Option<usize>, Option<usize>) {
+        let Some(i) = n else {
+            return (None, None);
+        };
+        if self.nodes[i].key < key {
+            let (l, r) = self.split(self.nodes[i].right, key);
+            self.nodes[i].right = l;
+            self.update(i);
+            (Some(i), r)
+        } else {
+            let (l, r) = self.split(self.nodes[i].left, key);
+            self.nodes[i].left = r;
+            self.update(i);
+            (l, Some(i))
+        }
+    }
+
+    fn merge(&mut self, a: Option<usize>, b: Option<usize>) -> Option<usize> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(l), Some(r)) => {
+                if self.nodes[l].priority >= self.nodes[r].priority {
+                    let merged = self.merge(self.nodes[l].right, Some(r));
+                    self.nodes[l].right = merged;
+                    self.update(l);
+                    Some(l)
+                } else {
+                    let merged = self.merge(Some(l), self.nodes[r].left);
+                    self.nodes[r].left = merged;
+                    self.update(r);
+                    Some(r)
+                }
+            }
+        }
+    }
+
+    /// Inserts `key` (duplicates allowed). Expected `O(log n)`.
+    ///
+    /// # Panics
+    /// Panics if `key` is NaN.
+    pub fn insert(&mut self, key: f64) {
+        assert!(!key.is_nan(), "Treap keys must not be NaN");
+        let priority = self.next_priority();
+        let node = self.alloc(key, priority);
+        let (l, r) = self.split(self.root, key);
+        let left = self.merge(l, Some(node));
+        self.root = self.merge(left, r);
+    }
+
+    /// Removes one occurrence of `key`; returns whether a key was removed.
+    pub fn remove(&mut self, key: f64) -> bool {
+        if key.is_nan() {
+            return false;
+        }
+        let (l, rest) = self.split(self.root, key);
+        // rest holds keys ≥ key; split again just past key.
+        let (eq, r) = self.split(rest, next_up(key));
+        let removed = eq.is_some();
+        let eq = if let Some(e) = eq {
+            // Drop one node from the equal-run: remove its root.
+            let merged = {
+                let (el, er) = (self.nodes[e].left, self.nodes[e].right);
+                self.free.push(e);
+                self.merge(el, er)
+            };
+            merged
+        } else {
+            None
+        };
+        let left = self.merge(l, eq);
+        self.root = self.merge(left, r);
+        removed
+    }
+
+    /// Number of keys strictly less than `key`.
+    pub fn count_less(&self, key: f64) -> usize {
+        let mut n = self.root;
+        let mut count = 0;
+        while let Some(i) = n {
+            if self.nodes[i].key < key {
+                count += 1 + self.size(self.nodes[i].left);
+                n = self.nodes[i].right;
+            } else {
+                n = self.nodes[i].left;
+            }
+        }
+        count
+    }
+
+    /// Number of keys less than or equal to `key`.
+    pub fn count_le(&self, key: f64) -> usize {
+        if key == f64::INFINITY {
+            return self.len();
+        }
+        self.count_less(next_up(key))
+    }
+
+    /// The `rank`-th smallest key (0-based), or `None` if out of range.
+    pub fn select(&self, rank: usize) -> Option<f64> {
+        if rank >= self.len() {
+            return None;
+        }
+        let mut n = self.root;
+        let mut rank = rank;
+        while let Some(i) = n {
+            let ls = self.size(self.nodes[i].left);
+            if rank < ls {
+                n = self.nodes[i].left;
+            } else if rank == ls {
+                return Some(self.nodes[i].key);
+            } else {
+                rank -= ls + 1;
+                n = self.nodes[i].right;
+            }
+        }
+        None
+    }
+
+    /// Empirical CDF `Pr(X < key)`; 0 for an empty treap.
+    pub fn cdf(&self, key: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.count_less(key) as f64 / self.len() as f64
+    }
+
+    /// The empirical `p`-quantile (`0 ≤ p ≤ 1`) using the
+    /// nearest-rank definition; `None` for an empty treap.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.is_empty() || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let n = self.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.select(rank)
+    }
+
+    /// All keys in sorted order (`O(n)`), mainly for testing and export.
+    pub fn to_sorted_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.walk(self.root, &mut out);
+        out
+    }
+
+    fn walk(&self, n: Option<usize>, out: &mut Vec<f64>) {
+        if let Some(i) = n {
+            self.walk(self.nodes[i].left, out);
+            out.push(self.nodes[i].key);
+            self.walk(self.nodes[i].right, out);
+        }
+    }
+}
+
+/// Smallest f64 strictly greater than `v` (for finite `v`).
+fn next_up(v: f64) -> f64 {
+    if v == f64::INFINITY {
+        return v;
+    }
+    let bits = v.to_bits();
+    let next = if v == 0.0 {
+        1 // smallest positive subnormal
+    } else if v > 0.0 {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f64::from_bits(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_treap() {
+        let t = Treap::new(1);
+        assert!(t.is_empty());
+        assert_eq!(t.count_less(0.0), 0);
+        assert_eq!(t.select(0), None);
+        assert_eq!(t.quantile(0.5), None);
+        assert_eq!(t.cdf(1.0), 0.0);
+    }
+
+    #[test]
+    fn insert_and_rank() {
+        let mut t = Treap::new(7);
+        for v in [10.0, 4.0, 8.0, 4.0, 1.0] {
+            t.insert(v);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.to_sorted_vec(), vec![1.0, 4.0, 4.0, 8.0, 10.0]);
+        assert_eq!(t.count_less(4.0), 1);
+        assert_eq!(t.count_le(4.0), 3);
+        assert_eq!(t.select(2), Some(4.0));
+    }
+
+    #[test]
+    fn remove_one_duplicate() {
+        let mut t = Treap::new(3);
+        for v in [2.0, 2.0, 2.0] {
+            t.insert(v);
+        }
+        assert!(t.remove(2.0));
+        assert_eq!(t.len(), 2);
+        assert!(!t.remove(5.0));
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(2.0));
+        assert!(t.remove(2.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let mut t = Treap::new(11);
+        for v in 1..=100 {
+            t.insert(v as f64);
+        }
+        assert_eq!(t.quantile(0.5), Some(50.0));
+        assert_eq!(t.quantile(0.95), Some(95.0));
+        assert_eq!(t.quantile(0.99), Some(99.0));
+        assert_eq!(t.quantile(1.0), Some(100.0));
+        assert_eq!(t.quantile(0.0), Some(1.0));
+        assert_eq!(t.quantile(1.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_insert_panics() {
+        let mut t = Treap::new(1);
+        t.insert(f64::NAN);
+    }
+
+    #[test]
+    fn negative_and_zero_keys() {
+        let mut t = Treap::new(5);
+        for v in [-3.0, 0.0, -0.5, 2.0, 0.0] {
+            t.insert(v);
+        }
+        assert_eq!(t.count_less(0.0), 2);
+        assert_eq!(t.count_le(0.0), 4);
+        assert!(t.remove(0.0));
+        assert_eq!(t.count_le(0.0), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut t = Treap::new(99);
+            for i in 0..100 {
+                t.insert(((i * 31) % 57) as f64);
+            }
+            t.to_sorted_vec()
+        };
+        assert_eq!(build(), build());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sorted_vec_oracle(
+            ops in proptest::collection::vec((any::<bool>(), -100i32..100), 0..300),
+        ) {
+            let mut t = Treap::new(13);
+            let mut oracle: Vec<f64> = Vec::new();
+            for (is_insert, v) in ops {
+                let v = v as f64;
+                if is_insert || oracle.is_empty() {
+                    t.insert(v);
+                    let pos = oracle.partition_point(|&x| x < v);
+                    oracle.insert(pos, v);
+                } else {
+                    let removed = t.remove(v);
+                    let pos = oracle.iter().position(|&x| x == v);
+                    prop_assert_eq!(removed, pos.is_some());
+                    if let Some(p) = pos {
+                        oracle.remove(p);
+                    }
+                }
+                prop_assert_eq!(t.len(), oracle.len());
+            }
+            prop_assert_eq!(t.to_sorted_vec(), oracle.clone());
+            for q in [-101.0, -50.0, 0.0, 3.0, 50.0, 101.0] {
+                prop_assert_eq!(t.count_less(q), oracle.iter().filter(|&&x| x < q).count());
+                prop_assert_eq!(t.count_le(q), oracle.iter().filter(|&&x| x <= q).count());
+            }
+            for r in 0..oracle.len() {
+                prop_assert_eq!(t.select(r), Some(oracle[r]));
+            }
+        }
+
+        #[test]
+        fn quantile_bounds(
+            vals in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            p in 0.0f64..=1.0,
+        ) {
+            let mut t = Treap::new(17);
+            for &v in &vals {
+                t.insert(v);
+            }
+            let q = t.quantile(p).unwrap();
+            let mut sorted = vals.clone();
+            sorted.sort_by(f64::total_cmp);
+            prop_assert!(q >= sorted[0] && q <= sorted[sorted.len() - 1]);
+            // At least ceil(p*n) values are ≤ q.
+            let need = (p * sorted.len() as f64).ceil() as usize;
+            prop_assert!(t.count_le(q) >= need.max(1));
+        }
+    }
+}

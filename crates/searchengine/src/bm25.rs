@@ -1,0 +1,215 @@
+//! BM25-ranked top-k retrieval with cost accounting.
+
+use crate::index::InvertedIndex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// BM25 `k1` parameter (term-frequency saturation).
+pub const K1: f64 = 1.2;
+/// BM25 `b` parameter (length normalization).
+pub const B: f64 = 0.75;
+
+/// A scored search result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc: u32,
+    /// BM25 score (higher is better).
+    pub score: f64,
+}
+
+impl Eq for SearchHit {}
+
+impl Ord for SearchHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // "Greater" means *worse* (lower score, then higher doc id), so
+        // a max-BinaryHeap pops the worst hit — exactly what top-k
+        // pruning wants — and ties resolve deterministically toward
+        // lower doc ids.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+impl PartialOrd for SearchHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// BM25 inverse document frequency with the +1 smoothing Lucene uses.
+pub fn idf(num_docs: usize, df: usize) -> f64 {
+    (((num_docs as f64 - df as f64 + 0.5) / (df as f64 + 0.5)) + 1.0).ln()
+}
+
+/// Executes a BM25 top-`k` disjunctive query over the index.
+///
+/// Returns the hits (best first) and the *cost*: the number of postings
+/// scanned, which is the engine's deterministic unit of service time
+/// (the trace layer converts it to milliseconds). Term-at-a-time
+/// scoring with a score accumulator; duplicate query terms contribute
+/// once per occurrence, like Lucene's default query parser.
+pub fn search(index: &InvertedIndex, terms: &[u32], k: usize) -> (Vec<SearchHit>, u64) {
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    let mut cost = 1u64; // baseline dispatch cost
+    let n = index.num_docs();
+    let avg_dl = index.avg_doc_len().max(1.0);
+
+    for &t in terms {
+        let postings = index.postings(t);
+        if postings.is_empty() {
+            continue;
+        }
+        let w = idf(n, postings.len());
+        cost += postings.len() as u64;
+        for p in postings {
+            let dl = index.doc_len(p.doc) as f64;
+            let tf = p.tf as f64;
+            let s = w * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg_dl));
+            *acc.entry(p.doc).or_insert(0.0) += s;
+        }
+    }
+
+    // Top-k via a min-heap of size k.
+    let mut heap: BinaryHeap<SearchHit> = BinaryHeap::with_capacity(k + 1);
+    for (doc, score) in acc {
+        heap.push(SearchHit { doc, score });
+        if heap.len() > k {
+            heap.pop(); // drops the current minimum (reversed order)
+        }
+    }
+    let mut hits: Vec<SearchHit> = heap.into_vec();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
+    (hits, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+
+    /// Brute-force BM25 for the oracle.
+    fn brute_scores(index: &InvertedIndex, terms: &[u32]) -> HashMap<u32, f64> {
+        let mut acc = HashMap::new();
+        let avg_dl = index.avg_doc_len().max(1.0);
+        for &t in terms {
+            let postings = index.postings(t);
+            if postings.is_empty() {
+                continue;
+            }
+            let w = idf(index.num_docs(), postings.len());
+            for p in postings {
+                let dl = index.doc_len(p.doc) as f64;
+                let tf = p.tf as f64;
+                *acc.entry(p.doc).or_insert(0.0) +=
+                    w * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg_dl));
+            }
+        }
+        acc
+    }
+
+    fn toy_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_doc(&[0, 0, 1]); // doc 0: "cat cat dog"
+        b.add_doc(&[1, 2]); // doc 1: "dog fish"
+        b.add_doc(&[0, 2, 2, 2]); // doc 2: "cat fish fish fish"
+        b.add_doc(&[3]); // doc 3: "zebra"
+        b.build()
+    }
+
+    #[test]
+    fn single_term_ranking() {
+        let idx = toy_index();
+        let (hits, cost) = search(&idx, &[0], 10);
+        // Both docs 0 and 2 contain term 0; doc 0 has higher tf and is
+        // shorter → must rank first.
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc, 0);
+        assert_eq!(hits[1].doc, 2);
+        assert!(hits[0].score > hits[1].score);
+        assert_eq!(cost, 1 + 2); // two postings scanned
+    }
+
+    #[test]
+    fn multi_term_accumulates() {
+        let idx = toy_index();
+        let (hits, _) = search(&idx, &[0, 1], 10);
+        // doc 0 matches both terms → top.
+        assert_eq!(hits[0].doc, 0);
+        let scores = brute_scores(&idx, &[0, 1]);
+        for h in &hits {
+            assert!((h.score - scores[&h.doc]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates_correctly() {
+        let idx = toy_index();
+        let (all, _) = search(&idx, &[0, 1, 2], 10);
+        let (top2, _) = search(&idx, &[0, 1, 2], 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0], all[0]);
+        assert_eq!(top2[1], all[1]);
+    }
+
+    #[test]
+    fn rare_term_scores_higher_idf() {
+        let idx = toy_index();
+        // term 3 appears in 1 doc, term 0 in 2: idf(3) > idf(0).
+        assert!(idf(idx.num_docs(), idx.df(3)) > idf(idx.num_docs(), idx.df(0)));
+    }
+
+    #[test]
+    fn unknown_terms_and_empty_query() {
+        let idx = toy_index();
+        let (hits, cost) = search(&idx, &[99], 5);
+        assert!(hits.is_empty());
+        assert_eq!(cost, 1);
+        let (hits, _) = search(&idx, &[], 5);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn zero_k_returns_nothing_but_costs() {
+        let idx = toy_index();
+        let (hits, cost) = search(&idx, &[0], 0);
+        assert!(hits.is_empty());
+        assert!(cost > 1);
+    }
+
+    #[test]
+    fn cost_equals_postings_scanned() {
+        let mut b = IndexBuilder::new();
+        for d in 0..100 {
+            // term 0 in every doc, term 1 in every 10th.
+            if d % 10 == 0 {
+                b.add_doc(&[0, 1]);
+            } else {
+                b.add_doc(&[0]);
+            }
+        }
+        let idx = b.build();
+        let (_, c0) = search(&idx, &[0], 5);
+        let (_, c1) = search(&idx, &[1], 5);
+        let (_, c01) = search(&idx, &[0, 1], 5);
+        assert_eq!(c0, 1 + 100);
+        assert_eq!(c1, 1 + 10);
+        assert_eq!(c01, 1 + 110);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut b = IndexBuilder::new();
+        for _ in 0..6 {
+            b.add_doc(&[0]); // identical docs → identical scores
+        }
+        let idx = b.build();
+        let (hits, _) = search(&idx, &[0], 3);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        // Ties break toward lower doc ids, deterministically.
+        assert_eq!(docs, vec![0, 1, 2]);
+    }
+}

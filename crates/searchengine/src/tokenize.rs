@@ -1,0 +1,119 @@
+//! Tokenization and vocabulary management.
+
+use std::collections::HashMap;
+
+/// Tokenizes into owned lowercase alphanumeric tokens.
+///
+/// ```
+/// assert_eq!(
+///     searchengine::tokenize::tokens_lower("Hello, World! x2"),
+///     vec!["hello", "world", "x2"]
+/// );
+/// ```
+pub fn tokens_lower(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// A bidirectional string ↔ term-id mapping.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    to_id: HashMap<String, u32>,
+    to_term: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.to_term.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_term.is_empty()
+    }
+
+    /// Interns a term, returning its id.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.to_id.get(term) {
+            return id;
+        }
+        let id = self.to_term.len() as u32;
+        self.to_id.insert(term.to_string(), id);
+        self.to_term.push(term.to_string());
+        id
+    }
+
+    /// Looks up an existing term.
+    pub fn get(&self, term: &str) -> Option<u32> {
+        self.to_id.get(term).copied()
+    }
+
+    /// The term for an id.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.to_term.get(id as usize).map(String::as_str)
+    }
+
+    /// Tokenizes and interns a document, returning its term ids.
+    pub fn intern_doc(&mut self, text: &str) -> Vec<u32> {
+        tokens_lower(text)
+            .iter()
+            .map(|t| self.intern(t))
+            .collect()
+    }
+
+    /// Tokenizes a query against the existing vocabulary, dropping
+    /// unknown terms.
+    pub fn query_ids(&self, text: &str) -> Vec<u32> {
+        tokens_lower(text)
+            .iter()
+            .filter_map(|t| self.get(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_punctuation() {
+        assert_eq!(
+            tokens_lower("The quick-brown fox! (2024)"),
+            vec!["the", "quick", "brown", "fox", "2024"]
+        );
+        assert!(tokens_lower("").is_empty());
+        assert!(tokens_lower("...!?").is_empty());
+    }
+
+    #[test]
+    fn vocabulary_interning() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("hello");
+        let b = v.intern("world");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("hello"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get("hello"), Some(a));
+        assert_eq!(v.get("nothere"), None);
+        assert_eq!(v.term(a), Some("hello"));
+        assert_eq!(v.term(99), None);
+    }
+
+    #[test]
+    fn intern_doc_and_query() {
+        let mut v = Vocabulary::new();
+        let ids = v.intern_doc("Cats chase mice. Mice run!");
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[3], ids[1].max(ids[3]).min(ids[3])); // mice == mice
+        let q = v.query_ids("mice dogs");
+        assert_eq!(q.len(), 1); // "dogs" unseen
+    }
+}

@@ -1,0 +1,124 @@
+//! Load-balancing strategies (Figure 5b).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How dispatched requests choose a server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Balancer {
+    /// Pick a server uniformly at random (the paper's default, §5.1).
+    Random,
+    /// Pick two random servers, use the one with the shorter queue
+    /// (*Min-of-Two*, the power-of-two-choices rule).
+    MinOfTwo,
+    /// Pick the server with the globally shortest queue
+    /// (*Min-of-All*, join-the-shortest-queue).
+    MinOfAll,
+}
+
+impl Balancer {
+    /// Chooses a server given per-server backlog (queued + in service).
+    ///
+    /// `exclude` removes one server from consideration (used to route a
+    /// reissue away from its primary's replica); pass `usize::MAX` to
+    /// allow all. Ties in queue length break toward the lower index for
+    /// `MinOfAll` and toward the first pick for `MinOfTwo`, both
+    /// deterministic.
+    ///
+    /// # Panics
+    /// Panics if no server is eligible.
+    pub fn choose(&self, backlog: &[usize], exclude: usize, rng: &mut SmallRng) -> usize {
+        let n = backlog.len();
+        assert!(n > 0, "no servers");
+        let eligible = |s: usize| s != exclude;
+        assert!(
+            n > 1 || exclude == usize::MAX || exclude >= n,
+            "cannot exclude the only server"
+        );
+
+        let pick_random = |rng: &mut SmallRng| loop {
+            let s = rng.gen_range(0..n);
+            if eligible(s) {
+                return s;
+            }
+        };
+
+        match self {
+            Balancer::Random => pick_random(rng),
+            Balancer::MinOfTwo => {
+                let a = pick_random(rng);
+                let b = pick_random(rng);
+                if backlog[b] < backlog[a] {
+                    b
+                } else {
+                    a
+                }
+            }
+            Balancer::MinOfAll => {
+                let mut best = usize::MAX;
+                for s in 0..n {
+                    if eligible(s) && (best == usize::MAX || backlog[s] < backlog[best]) {
+                        best = s;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::rng::seeded;
+
+    #[test]
+    fn random_covers_all_servers() {
+        let mut rng = seeded(1);
+        let backlog = vec![0usize; 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Balancer::Random.choose(&backlog, usize::MAX, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_respects_exclusion() {
+        let mut rng = seeded(2);
+        let backlog = vec![0usize; 3];
+        for _ in 0..100 {
+            assert_ne!(Balancer::Random.choose(&backlog, 1, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn min_of_all_picks_shortest() {
+        let mut rng = seeded(3);
+        let backlog = vec![5, 2, 7, 2];
+        // Tie between 1 and 3 breaks low.
+        assert_eq!(Balancer::MinOfAll.choose(&backlog, usize::MAX, &mut rng), 1);
+        // Excluding 1 moves to 3.
+        assert_eq!(Balancer::MinOfAll.choose(&backlog, 1, &mut rng), 3);
+    }
+
+    #[test]
+    fn min_of_two_prefers_shorter() {
+        let mut rng = seeded(4);
+        // One empty server among loaded ones: min-of-two should find it
+        // much more often than 1/n.
+        let backlog = vec![10, 10, 0, 10, 10];
+        let hits = (0..1000)
+            .filter(|_| Balancer::MinOfTwo.choose(&backlog, usize::MAX, &mut rng) == 2)
+            .count();
+        // P(either of two picks hits server 2) = 1-(4/5)^2 = 0.36.
+        assert!(hits > 250, "hits={hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only server")]
+    fn excluding_only_server_panics() {
+        let mut rng = seeded(5);
+        let _ = Balancer::Random.choose(&[3], 0, &mut rng);
+    }
+}

@@ -1,0 +1,231 @@
+//! Server queue disciplines (Figure 5c and the Redis model of §6.2).
+
+use std::collections::VecDeque;
+
+/// How a server orders waiting requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// One FIFO queue; primaries and reissues are indistinguishable
+    /// (the paper's *Baseline FIFO*).
+    Fifo,
+    /// Two FIFO queues; reissues are served only when no primary waits
+    /// (*Prioritized FIFO*).
+    PrioritizedFifo,
+    /// Like [`Discipline::PrioritizedFifo`] but the reissue queue is
+    /// served LIFO (*Prioritized LIFO*).
+    PrioritizedLifo,
+    /// Requests are hashed onto `connections` per-server client
+    /// connections and served round-robin, one request per non-empty
+    /// connection per turn — Redis's event-loop behaviour that lets a
+    /// single "query of death" delay every other connection's requests
+    /// by a full service time each round (§6.2).
+    RoundRobin {
+        /// Number of client connections multiplexed onto the server.
+        connections: usize,
+    },
+}
+
+/// A queued request, as seen by the discipline.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct QueuedRequest {
+    pub query: usize,
+    pub is_reissue: bool,
+    pub service: f64,
+    pub enqueued_at: f64,
+    /// Connection id for round-robin scheduling.
+    pub connection: usize,
+}
+
+/// A server's wait queue under a given [`Discipline`].
+#[derive(Clone, Debug)]
+pub(crate) enum WaitQueue {
+    Fifo(VecDeque<QueuedRequest>),
+    Prioritized {
+        primary: VecDeque<QueuedRequest>,
+        reissue: VecDeque<QueuedRequest>,
+        lifo_reissue: bool,
+    },
+    RoundRobin {
+        conns: Vec<VecDeque<QueuedRequest>>,
+        cursor: usize,
+        len: usize,
+    },
+}
+
+impl WaitQueue {
+    pub(crate) fn new(discipline: Discipline) -> Self {
+        match discipline {
+            Discipline::Fifo => WaitQueue::Fifo(VecDeque::new()),
+            Discipline::PrioritizedFifo => WaitQueue::Prioritized {
+                primary: VecDeque::new(),
+                reissue: VecDeque::new(),
+                lifo_reissue: false,
+            },
+            Discipline::PrioritizedLifo => WaitQueue::Prioritized {
+                primary: VecDeque::new(),
+                reissue: VecDeque::new(),
+                lifo_reissue: true,
+            },
+            Discipline::RoundRobin { connections } => {
+                assert!(connections > 0, "round-robin needs ≥ 1 connection");
+                WaitQueue::RoundRobin {
+                    conns: vec![VecDeque::new(); connections],
+                    cursor: 0,
+                    len: 0,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn push(&mut self, req: QueuedRequest) {
+        match self {
+            WaitQueue::Fifo(q) => q.push_back(req),
+            WaitQueue::Prioritized {
+                primary, reissue, ..
+            } => {
+                if req.is_reissue {
+                    reissue.push_back(req);
+                } else {
+                    primary.push_back(req);
+                }
+            }
+            WaitQueue::RoundRobin { conns, len, .. } => {
+                let c = req.connection % conns.len();
+                conns[c].push_back(req);
+                *len += 1;
+            }
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedRequest> {
+        match self {
+            WaitQueue::Fifo(q) => q.pop_front(),
+            WaitQueue::Prioritized {
+                primary,
+                reissue,
+                lifo_reissue,
+            } => primary.pop_front().or_else(|| {
+                if *lifo_reissue {
+                    reissue.pop_back()
+                } else {
+                    reissue.pop_front()
+                }
+            }),
+            WaitQueue::RoundRobin { conns, cursor, len } => {
+                if *len == 0 {
+                    return None;
+                }
+                // Advance to the next non-empty connection, continuing
+                // from where the last turn left off.
+                for _ in 0..conns.len() {
+                    let c = *cursor;
+                    *cursor = (*cursor + 1) % conns.len();
+                    if let Some(req) = conns[c].pop_front() {
+                        *len -= 1;
+                        return Some(req);
+                    }
+                }
+                unreachable!("len > 0 but every connection empty");
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            WaitQueue::Fifo(q) => q.len(),
+            WaitQueue::Prioritized {
+                primary, reissue, ..
+            } => primary.len() + reissue.len(),
+            WaitQueue::RoundRobin { len, .. } => *len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(query: usize, is_reissue: bool, connection: usize) -> QueuedRequest {
+        QueuedRequest {
+            query,
+            is_reissue,
+            service: 1.0,
+            enqueued_at: 0.0,
+            connection,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = WaitQueue::new(Discipline::Fifo);
+        q.push(req(1, false, 0));
+        q.push(req(2, true, 0));
+        q.push(req(3, false, 0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prioritized_fifo_serves_primaries_first() {
+        let mut q = WaitQueue::new(Discipline::PrioritizedFifo);
+        q.push(req(1, true, 0));
+        q.push(req(2, false, 0));
+        q.push(req(3, true, 0));
+        q.push(req(4, false, 0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]); // primaries FIFO, then reissues FIFO
+    }
+
+    #[test]
+    fn prioritized_lifo_reverses_reissues() {
+        let mut q = WaitQueue::new(Discipline::PrioritizedLifo);
+        q.push(req(1, true, 0));
+        q.push(req(2, true, 0));
+        q.push(req(3, false, 0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        assert_eq!(order, vec![3, 2, 1]); // primary, then reissues LIFO
+    }
+
+    #[test]
+    fn round_robin_cycles_connections() {
+        let mut q = WaitQueue::new(Discipline::RoundRobin { connections: 3 });
+        // Connection 0 backlogged; 1 and 2 have one request each.
+        q.push(req(10, false, 0));
+        q.push(req(11, false, 0));
+        q.push(req(12, false, 0));
+        q.push(req(20, false, 1));
+        q.push(req(30, false, 2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        // One per connection per turn: 10, 20, 30, then drain 0.
+        assert_eq!(order, vec![10, 20, 30, 11, 12]);
+    }
+
+    #[test]
+    fn round_robin_len_tracks() {
+        let mut q = WaitQueue::new(Discipline::RoundRobin { connections: 2 });
+        assert_eq!(q.len(), 0);
+        q.push(req(1, false, 0));
+        q.push(req(2, false, 1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn connection_ids_wrap() {
+        let mut q = WaitQueue::new(Discipline::RoundRobin { connections: 2 });
+        q.push(req(1, false, 7)); // 7 % 2 == 1
+        q.push(req(2, false, 0));
+        // Cursor starts at 0: connection 0 first.
+        assert_eq!(q.pop().unwrap().query, 2);
+        assert_eq!(q.pop().unwrap().query, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "connection")]
+    fn zero_connections_panics() {
+        let _ = WaitQueue::new(Discipline::RoundRobin { connections: 0 });
+    }
+}

@@ -1,0 +1,209 @@
+//! Service-time models: iid, correlated and trace-driven.
+
+use distributions::{CorrelatedPair, Dist};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Supplies service times for primary and reissue requests.
+///
+/// The reissue draw receives the query's primary *service* time so
+/// implementations can model the paper's `Y = r·x + Z` correlation
+/// (§5.1) or replay the exact same work (engine traces, §6).
+pub trait ServiceModel {
+    /// Service time of query `idx`'s primary request.
+    fn primary(&mut self, idx: usize, rng: &mut SmallRng) -> f64;
+
+    /// Service time of query `idx`'s reissue request, given the primary
+    /// service time `primary`.
+    fn reissue(&mut self, idx: usize, primary: f64, rng: &mut SmallRng) -> f64;
+
+    /// Mean primary service time, used for utilization targeting.
+    fn mean_service(&self) -> f64;
+}
+
+/// Primary and reissue service times drawn iid from one distribution —
+/// the paper's *Independent* workload.
+#[derive(Clone, Debug)]
+pub struct IidService<D> {
+    dist: D,
+}
+
+impl<D: Dist> IidService<D> {
+    /// Wraps a distribution.
+    pub fn new(dist: D) -> Self {
+        IidService { dist }
+    }
+}
+
+impl<D: Dist> ServiceModel for IidService<D> {
+    fn primary(&mut self, _idx: usize, rng: &mut SmallRng) -> f64 {
+        self.dist.sample(rng)
+    }
+
+    fn reissue(&mut self, _idx: usize, _primary: f64, rng: &mut SmallRng) -> f64 {
+        self.dist.sample(rng)
+    }
+
+    fn mean_service(&self) -> f64 {
+        self.dist.mean()
+    }
+}
+
+/// Correlated service times `Y = r·x + Z` — the paper's *Correlated*
+/// and *Queueing* workloads (§5.1).
+#[derive(Clone, Debug)]
+pub struct CorrelatedService<D> {
+    pair: CorrelatedPair<D>,
+    mean: f64,
+}
+
+impl<D: Dist> CorrelatedService<D> {
+    /// Wraps a base distribution with correlation ratio `r`.
+    pub fn new(dist: D, r: f64) -> Self {
+        let mean = dist.mean();
+        CorrelatedService {
+            pair: CorrelatedPair::new(dist, r),
+            mean,
+        }
+    }
+
+    /// The correlation ratio.
+    pub fn ratio(&self) -> f64 {
+        self.pair.ratio()
+    }
+}
+
+impl<D: Dist> ServiceModel for CorrelatedService<D> {
+    fn primary(&mut self, _idx: usize, rng: &mut SmallRng) -> f64 {
+        self.pair.sample_primary(rng)
+    }
+
+    fn reissue(&mut self, _idx: usize, primary: f64, rng: &mut SmallRng) -> f64 {
+        self.pair.sample_reissue(primary, rng)
+    }
+
+    fn mean_service(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Trace-driven service times: query `idx` costs `costs[idx % len]` and
+/// a reissue re-executes the *same operation*, so it costs the same
+/// (optionally perturbed by a small uniform jitter modelling cache and
+/// scheduling noise). This is how the measured Redis and Lucene query
+/// costs enter the cluster simulation (§6).
+#[derive(Clone, Debug)]
+pub struct TraceService {
+    costs: Vec<f64>,
+    jitter: f64,
+    mean: f64,
+}
+
+impl TraceService {
+    /// Wraps a cost trace with relative reissue `jitter ∈ [0, 1)`
+    /// (reissue cost is `cost · U[1−jitter, 1+jitter]`).
+    ///
+    /// # Panics
+    /// Panics on an empty trace, non-positive costs or jitter ∉ [0, 1).
+    pub fn new(costs: Vec<f64>, jitter: f64) -> Self {
+        assert!(!costs.is_empty(), "trace must be non-empty");
+        assert!(
+            costs.iter().all(|&c| c > 0.0 && c.is_finite()),
+            "trace costs must be positive and finite"
+        );
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        TraceService {
+            costs,
+            jitter,
+            mean,
+        }
+    }
+
+    /// Number of distinct queries in the trace.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the trace is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
+impl ServiceModel for TraceService {
+    fn primary(&mut self, idx: usize, _rng: &mut SmallRng) -> f64 {
+        self.costs[idx % self.costs.len()]
+    }
+
+    fn reissue(&mut self, idx: usize, _primary: f64, rng: &mut SmallRng) -> f64 {
+        let base = self.costs[idx % self.costs.len()];
+        if self.jitter == 0.0 {
+            base
+        } else {
+            base * (1.0 + self.jitter * (2.0 * rng.gen::<f64>() - 1.0))
+        }
+    }
+
+    fn mean_service(&self) -> f64 {
+        self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::rng::seeded;
+    use distributions::{Exponential, Pareto};
+
+    #[test]
+    fn iid_mean_matches_dist() {
+        let m = IidService::new(Exponential::new(0.1));
+        assert!((m.mean_service() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_reissue_includes_rx_term() {
+        let mut m = CorrelatedService::new(Pareto::paper_default(), 0.5);
+        let mut rng = seeded(1);
+        // y = 0.5 * x + z where z >= mode = 2.
+        for _ in 0..100 {
+            let y = m.reissue(0, 100.0, &mut rng);
+            assert!(y >= 50.0 + 2.0);
+        }
+    }
+
+    #[test]
+    fn trace_replays_costs() {
+        let mut m = TraceService::new(vec![1.0, 2.0, 3.0], 0.0);
+        let mut rng = seeded(2);
+        assert_eq!(m.primary(0, &mut rng), 1.0);
+        assert_eq!(m.primary(1, &mut rng), 2.0);
+        assert_eq!(m.primary(2, &mut rng), 3.0);
+        assert_eq!(m.primary(3, &mut rng), 1.0); // wraps
+        assert_eq!(m.reissue(1, 2.0, &mut rng), 2.0); // same op, no jitter
+        assert!((m.mean_service() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_jitter_bounds() {
+        let mut m = TraceService::new(vec![100.0], 0.1);
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            let y = m.reissue(0, 100.0, &mut rng);
+            assert!((90.0..=110.0).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trace_panics() {
+        let _ = TraceService::new(vec![], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_cost_panics() {
+        let _ = TraceService::new(vec![1.0, 0.0], 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Budget selection (§4.4): find the reissue budget that minimizes P99
+//! with the expanding/halving search, and the smallest budget meeting
+//! an SLA.
+//!
+//! ```text
+//! cargo run --release --example adaptive_budget
+//! ```
+
+use reissue::budget::{minimize_budget_for_sla_sweep, optimize_budget};
+use reissue::policy::ReissuePolicy;
+use reissue::workloads::{self, RunConfig};
+
+fn main() {
+    let spec = workloads::queueing(0.3, 0.5, 17);
+    let run = RunConfig {
+        seed: 23,
+        ..RunConfig::new(25_000)
+    };
+    let k = 0.99;
+
+    // Evaluate a budget: tune SingleR adaptively, measure P99. Common
+    // random numbers across probes keep the search comparable.
+    let eval = |budget: f64| -> f64 {
+        if budget <= 0.0 {
+            return spec.run(&run, &ReissuePolicy::None).quantile(k);
+        }
+        let tuned = workloads::adapt_policy(&spec, &run, k, budget, 0.5, 5);
+        spec.run(&run, &tuned.policy).quantile(k)
+    };
+
+    println!("expanding/halving budget search (δ starts at 1%):");
+    let result = optimize_budget(eval, 0.01, 0.4, 12);
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "trial", "budget", "P99", "best_budget", "best_P99"
+    );
+    for (i, t) in result.trials.iter().enumerate() {
+        println!(
+            "{:>6} {:>10.4} {:>12.1} {:>12.4} {:>12.1}",
+            i, t.budget, t.latency, t.best_budget, t.best_latency
+        );
+    }
+    println!(
+        "\nbest budget = {:.2}% -> P99 = {:.1}",
+        100.0 * result.best_budget,
+        result.best_latency
+    );
+
+    // SLA mode: the smallest budget achieving P99 ≤ 1.25x the optimum.
+    let target = result.best_latency * 1.25;
+    let eval2 = |budget: f64| -> f64 {
+        if budget <= 0.0 {
+            return spec.run(&run, &ReissuePolicy::None).quantile(k);
+        }
+        let tuned = workloads::adapt_policy(&spec, &run, k, budget, 0.5, 5);
+        spec.run(&run, &tuned.policy).quantile(k)
+    };
+    match minimize_budget_for_sla_sweep(eval2, target, 0.02, 0.4) {
+        Some((b, l)) => println!(
+            "smallest budget meeting P99 ≤ {target:.1}: {:.0}% (achieves {l:.1})",
+            100.0 * b
+        ),
+        None => println!("no budget ≤ 40% meets P99 ≤ {target:.1}"),
+    }
+}

@@ -1,0 +1,48 @@
+//! Numerically demonstrate Theorem 3.1/3.2: the optimal SingleR policy
+//! matches the optimal DoubleR (and by induction MultipleR) policy at
+//! equal budget — reissuing more than once buys nothing.
+//!
+//! ```text
+//! cargo run --release --example multiple_r_equivalence
+//! ```
+
+use distributions::{Exponential, Pareto};
+use reissue::model::{optimal_double_r_grid, optimal_single_r_grid};
+
+fn main() {
+    println!("k = 0.95 tail target; grid-searched optima in the analytical model\n");
+
+    println!("Exponential(1) service times:");
+    let x = Exponential::new(1.0);
+    let y = Exponential::new(1.0);
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "budget", "SingleR P95", "DoubleR P95", "gap"
+    );
+    for budget in [0.02, 0.05, 0.10, 0.20, 0.30] {
+        let (ps, ts) = optimal_single_r_grid(&x, &y, 0.95, budget, 8.0, 64);
+        let (pd, td) = optimal_double_r_grid(&x, &y, 0.95, budget, 8.0, 20);
+        println!(
+            "{budget:>8.2} {ts:>14.4} {td:>14.4} {:>9.2}%   single: {ps}   double: {pd}",
+            100.0 * (td - ts) / ts
+        );
+    }
+
+    println!("\nPareto(1.1, 2.0) service times (the paper's heavy tail):");
+    let x = Pareto::paper_default();
+    let y = Pareto::paper_default();
+    for budget in [0.05, 0.10, 0.20] {
+        let (_, ts) = optimal_single_r_grid(&x, &y, 0.95, budget, 60.0, 64);
+        let (_, td) = optimal_double_r_grid(&x, &y, 0.95, budget, 60.0, 20);
+        println!(
+            "  budget {budget:.2}: SingleR {ts:.2} vs DoubleR {td:.2}  (gap {:+.2}%)",
+            100.0 * (td - ts) / ts
+        );
+    }
+
+    println!(
+        "\nDoubleR never wins beyond grid resolution — empirical support for \
+         Theorem 3.1/3.2's claim that one well-placed randomized reissue \
+         is all you ever need."
+    );
+}

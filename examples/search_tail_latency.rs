@@ -1,0 +1,77 @@
+//! End-to-end Lucene-like experiment (§6.3): build a BM25 index over a
+//! synthetic Zipf corpus, measure real query costs, and hedge the
+//! simulated search cluster with SingleR.
+//!
+//! ```text
+//! cargo run --release --example search_tail_latency
+//! ```
+
+use reissue::policy::ReissuePolicy;
+use reissue::search::{search, Corpus, CorpusConfig, QueryTrace, QueryWorkloadConfig};
+use reissue::workloads::{self, RunConfig};
+
+fn main() {
+    // 1. Build the corpus and index (scaled down for a fast demo).
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 10_000,
+        vocab: 20_000,
+        ..CorpusConfig::default()
+    });
+    let index = corpus.build_index();
+    println!(
+        "index: {} docs, {} terms, avg doc len {:.1}",
+        index.num_docs(),
+        index.num_terms(),
+        index.avg_doc_len()
+    );
+
+    // 2. Run one query for real and show its hits.
+    let (hits, cost) = search(&index, &[15, 40, 200], 5);
+    println!("sample query [15, 40, 200]: {} hits, {cost} postings scanned", hits.len());
+    for h in hits.iter().take(3) {
+        println!("  doc {} score {:.3}", h.doc, h.score);
+    }
+
+    // 3. Measure the query trace, calibrated to the paper's mean.
+    let mut trace = QueryTrace::generate(
+        &index,
+        QueryWorkloadConfig {
+            num_queries: 10_000,
+            ..QueryWorkloadConfig::default()
+        },
+        100.0,
+    );
+    trace.calibrate_to_mean(39.73);
+    println!(
+        "trace: mean = {:.2} ms, std = {:.2} ms, {:.2}% of queries above 100 ms",
+        trace.mean_ms(),
+        trace.std_ms(),
+        100.0 * trace.frac_above(100.0)
+    );
+
+    // 4. Simulate the 10-server search cluster at 40% utilization.
+    let spec = workloads::lucene_cluster(trace.costs_ms.clone(), 0.40, 5);
+    let run = RunConfig {
+        seed: 11,
+        ..RunConfig::new(30_000)
+    };
+    let base = spec.run(&run, &ReissuePolicy::None);
+    println!(
+        "\nbaseline: P50 = {:.0} ms, P99 = {:.0} ms (util {:.2})",
+        base.quantile(0.5),
+        base.quantile(0.99),
+        base.utilization()
+    );
+
+    // Hedge just 1% of queries, like the paper's headline result.
+    let budget = 0.01;
+    let adapted = workloads::adapt_policy(&spec, &run, 0.99, budget, 0.5, 8);
+    let tuned = spec.run(&run, &adapted.policy);
+    println!(
+        "SingleR at {:.0}% budget: {} -> P99 = {:.0} ms ({:.0}% lower)",
+        100.0 * budget,
+        adapted.policy,
+        tuned.quantile(0.99),
+        100.0 * (1.0 - tuned.quantile(0.99) / base.quantile(0.99))
+    );
+}

@@ -1,0 +1,165 @@
+//! Integration tests spanning the optimizer, the adaptive loop and the
+//! cluster simulator — the full §4 pipeline against the §5 workloads.
+
+use reissue::metrics::quantile;
+use reissue::optimizer::{compute_optimal_single_r_correlated, predict_latency};
+use reissue::policy::ReissuePolicy;
+use reissue::workloads::{self, RunConfig};
+
+/// The adaptive pipeline must beat the no-reissue baseline on the
+/// paper's Queueing workload while staying on budget.
+#[test]
+fn adaptive_singler_cuts_tail_within_budget() {
+    let spec = workloads::queueing(0.3, 0.5, 101);
+    let run = RunConfig {
+        seed: 11,
+        ..RunConfig::new(25_000)
+    };
+    let (k, budget) = (0.95, 0.15);
+
+    let base = spec.run(&run, &ReissuePolicy::None);
+    let adapted = workloads::adapt_policy(&spec, &run, k, budget, 0.5, 8);
+    let tuned = spec.run(&run, &adapted.policy);
+
+    assert!(
+        tuned.quantile(k) < base.quantile(k),
+        "tuned {} !< base {}",
+        tuned.quantile(k),
+        base.quantile(k)
+    );
+    assert!(
+        tuned.reissue_rate() <= budget + 0.05,
+        "rate {} blew budget {budget}",
+        tuned.reissue_rate()
+    );
+}
+
+/// SingleR at a budget below 1−k must beat SingleD at the same budget
+/// (SingleD provably cannot reduce the k-tail there, §2.4).
+#[test]
+fn randomization_wins_below_one_minus_k() {
+    let spec = workloads::independent(102);
+    let run = RunConfig {
+        seed: 21,
+        ..RunConfig::new(40_000)
+    };
+    let (k, budget) = (0.95, 0.02); // budget < 1-k = 0.05
+
+    let opt = workloads::runner::optimal_policy_static(&spec, 50_000, k, budget, 5);
+    let single_d = workloads::runner::single_d_static(&spec, 50_000, budget, 5);
+
+    let base = spec.run(&run, &ReissuePolicy::None);
+    let r = spec.run(&run, &opt.policy());
+    let d = spec.run(&run, &single_d);
+
+    // SingleR materially improves the tail; SingleD cannot (its delay
+    // necessarily sits past the original P95).
+    assert!(r.quantile(k) < 0.95 * base.quantile(k));
+    assert!(d.quantile(k) >= 0.98 * base.quantile(k));
+    assert!(r.quantile(k) < d.quantile(k));
+}
+
+/// The optimizer's prediction must match the simulator's realization
+/// on a static (infinite-server) workload.
+#[test]
+fn optimizer_prediction_matches_simulation() {
+    let spec = workloads::correlated(0.5, 103);
+    let pairs = spec.sample_pairs(60_000, 31);
+    let rx: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let (k, budget) = (0.95, 0.1);
+
+    let opt = compute_optimal_single_r_correlated(&rx, &pairs, k, budget);
+    let run = RunConfig {
+        seed: 41,
+        ..RunConfig::new(60_000)
+    };
+    let sim = spec.run(&run, &opt.policy());
+    let realized = sim.quantile(k);
+    let rel = (opt.predicted_latency - realized).abs() / realized;
+    assert!(
+        rel < 0.1,
+        "predicted {} vs realized {realized}",
+        opt.predicted_latency
+    );
+    // And the measured reissue rate honors the budget.
+    assert!(sim.reissue_rate() <= budget + 0.01);
+}
+
+/// `predict_latency` must agree with a from-scratch simulation of a
+/// *given* policy, not just the optimizer's pick.
+#[test]
+fn predictor_consistency_on_fixed_policy() {
+    let spec = workloads::independent(104);
+    let pairs = spec.sample_pairs(50_000, 51);
+    let rx: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let (d, q, k) = (30.0, 0.5, 0.95);
+
+    let predicted = predict_latency(&rx, &pairs, k, d, q);
+    let run = RunConfig {
+        seed: 61,
+        ..RunConfig::new(50_000)
+    };
+    let sim = spec.run(&run, &ReissuePolicy::single_r(d, q));
+    let realized = sim.quantile(k);
+    let rel = (predicted - realized).abs() / realized;
+    assert!(rel < 0.1, "predicted {predicted} vs realized {realized}");
+}
+
+/// Correlation must push the optimal reissue delay earlier (Figure 3c's
+/// key observation), end to end through sampled workloads.
+#[test]
+fn correlation_reissues_earlier_end_to_end() {
+    let ind = workloads::runner::optimal_policy_static(
+        &workloads::independent(105),
+        60_000,
+        0.95,
+        0.1,
+        71,
+    );
+    let cor = workloads::runner::optimal_policy_static(
+        &workloads::correlated(0.9, 105),
+        60_000,
+        0.95,
+        0.1,
+        71,
+    );
+    assert!(
+        cor.outstanding_at_delay > ind.outstanding_at_delay,
+        "correlated {} should reissue earlier than independent {}",
+        cor.outstanding_at_delay,
+        ind.outstanding_at_delay
+    );
+    // And with lower probability (same budget spread over more
+    // outstanding requests).
+    assert!(cor.probability < ind.probability);
+}
+
+/// Latency records must satisfy basic conservation: every query's
+/// realized latency is bounded by its primary response, and reissued
+/// queries complete no later than dispatch delay + reissue response.
+#[test]
+fn simulation_conservation_laws() {
+    let spec = workloads::queueing(0.4, 0.5, 106);
+    let run = RunConfig {
+        seed: 81,
+        ..RunConfig::new(10_000)
+    };
+    let sim = spec.run(&run, &ReissuePolicy::single_r(10.0, 0.7));
+    for rec in &sim.records {
+        assert!(rec.latency.is_finite());
+        assert!(rec.latency <= rec.primary_response + 1e-9);
+        if rec.reissued && rec.reissue_response.is_finite() {
+            assert!(
+                rec.latency
+                    <= rec.reissue_dispatch_delay + rec.reissue_response + 1e-9
+            );
+        }
+        if !rec.reissued {
+            assert!((rec.latency - rec.primary_response).abs() < 1e-9);
+        }
+    }
+    // Quantiles are monotone.
+    let l = sim.latencies();
+    assert!(quantile(&l, 0.5) <= quantile(&l, 0.95));
+    assert!(quantile(&l, 0.95) <= quantile(&l, 0.99));
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the engine-backed system experiments (§6):
+//! kvstore and searchengine traces driven through the cluster
+//! simulator.
+
+use reissue::kv::{Dataset, DatasetConfig, Trace, WorkloadConfig};
+use reissue::policy::ReissuePolicy;
+use reissue::search::{Corpus, CorpusConfig, QueryTrace, QueryWorkloadConfig};
+use reissue::workloads::{self, RunConfig};
+
+fn small_redis_costs(seed: u64) -> Vec<f64> {
+    let dataset = Dataset::generate(DatasetConfig {
+        num_sets: 400,
+        seed,
+        ..DatasetConfig::default()
+    });
+    let mut trace = Trace::generate(
+        &dataset,
+        WorkloadConfig {
+            num_queries: 8_000,
+            seed,
+            ..WorkloadConfig::default()
+        },
+    );
+    trace.calibrate_to_mean(2.366);
+    trace.costs_ms
+}
+
+fn small_lucene_costs(seed: u64) -> Vec<f64> {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 8_000,
+        vocab: 15_000,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let index = corpus.build_index();
+    let mut trace = QueryTrace::generate(
+        &index,
+        QueryWorkloadConfig {
+            num_queries: 4_000,
+            seed,
+            ..QueryWorkloadConfig::default()
+        },
+        100.0,
+    );
+    trace.calibrate_to_mean(39.73);
+    trace.costs_ms
+}
+
+/// The Redis trace must exhibit the paper's shape: a tiny mean with
+/// rare "queries of death" orders of magnitude above it.
+#[test]
+fn redis_trace_has_queries_of_death() {
+    let costs = small_redis_costs(1);
+    let n = costs.len() as f64;
+    let mean = costs.iter().sum::<f64>() / n;
+    assert!((mean - 2.366).abs() < 1e-9);
+    let max = costs.iter().cloned().fold(0.0, f64::max);
+    assert!(max > 40.0 * mean, "max {max} vs mean {mean}");
+    let below10 = costs.iter().filter(|&&c| c < 10.0).count() as f64 / n;
+    assert!(below10 > 0.9, "fast fraction {below10}");
+}
+
+/// The Lucene trace must be light-tailed with a moderate spread.
+#[test]
+fn lucene_trace_is_light_tailed() {
+    let costs = small_lucene_costs(2);
+    let n = costs.len() as f64;
+    let mean = costs.iter().sum::<f64>() / n;
+    assert!((mean - 39.73).abs() < 1e-9);
+    let std = (costs.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n).sqrt();
+    assert!(std < mean, "std {std} should be below mean {mean}");
+    let above100 = costs.iter().filter(|&&c| c > 100.0).count() as f64 / n;
+    assert!(above100 < 0.05, "tail fraction {above100}");
+}
+
+/// Round-robin connection scheduling must amplify the Redis tail
+/// relative to plain FIFO under the same trace and load.
+#[test]
+fn round_robin_amplifies_redis_tail() {
+    let costs = small_redis_costs(3);
+    let rr = workloads::redis_cluster(costs.clone(), 0.4, 5);
+    let mut fifo = rr.clone();
+    fifo.cluster.discipline = simulator::Discipline::Fifo;
+    let run = RunConfig {
+        seed: 17,
+        ..RunConfig::new(16_000)
+    };
+    let p99_rr = rr.run(&run, &ReissuePolicy::None).quantile(0.99);
+    let p99_fifo = fifo.run(&run, &ReissuePolicy::None).quantile(0.99);
+    // Round-robin lets every connection's queries queue behind a
+    // monster; FIFO at least drains in arrival order. RR should not be
+    // better, and typically is clearly worse in the deep tail.
+    assert!(
+        p99_rr >= 0.9 * p99_fifo,
+        "rr {p99_rr} unexpectedly far below fifo {p99_fifo}"
+    );
+}
+
+/// Hedging 1–3% of queries must reduce the Lucene cluster's P99 — the
+/// paper's headline system result, end to end.
+#[test]
+fn lucene_hedging_cuts_p99() {
+    let costs = small_lucene_costs(4);
+    let spec = workloads::lucene_cluster(costs, 0.4, 7);
+    let run = RunConfig {
+        seed: 19,
+        ..RunConfig::new(20_000)
+    };
+    let base = spec.run(&run, &ReissuePolicy::None);
+    let adapted = workloads::adapt_policy(&spec, &run, 0.99, 0.02, 0.5, 8);
+    let tuned = spec.run(&run, &adapted.policy);
+    assert!(
+        tuned.quantile(0.99) < base.quantile(0.99),
+        "tuned {} !< base {}",
+        tuned.quantile(0.99),
+        base.quantile(0.99)
+    );
+    assert!(tuned.reissue_rate() < 0.04);
+}
+
+/// The Redis cluster's P99 is dominated by monster-induced blocking;
+/// a late, high-probability SingleR policy must shave it.
+#[test]
+fn redis_hedging_cuts_p99() {
+    let costs = small_redis_costs(5);
+    let spec = workloads::redis_cluster(costs, 0.4, 9);
+    let run = RunConfig {
+        seed: 23,
+        ..RunConfig::new(16_000)
+    };
+    let base = spec.run(&run, &ReissuePolicy::None);
+    let adapted = workloads::adapt_policy(&spec, &run, 0.99, 0.05, 0.5, 8);
+    let tuned = spec.run(&run, &adapted.policy);
+    assert!(
+        tuned.quantile(0.99) < base.quantile(0.99),
+        "tuned {} !< base {}",
+        tuned.quantile(0.99),
+        base.quantile(0.99)
+    );
+}
+
+/// Engine determinism: the same seeds must give byte-identical traces.
+#[test]
+fn traces_are_deterministic() {
+    assert_eq!(small_redis_costs(11), small_redis_costs(11));
+    assert_eq!(small_lucene_costs(12), small_lucene_costs(12));
+    assert_ne!(small_redis_costs(11), small_redis_costs(13));
+}

@@ -1,0 +1,141 @@
+//! Numerical validation of the paper's §3 optimality theorems at
+//! integration scope: SingleR vs DoubleR vs 3-stage MultipleR over
+//! random empirical distributions, evaluated through the shared
+//! analytical model.
+
+use distributions::rng::seeded;
+use distributions::{Exponential, LogNormal, Pareto, Sample};
+use reissue::ecdf::Ecdf;
+use reissue::model::{
+    expected_budget, optimal_double_r_grid, optimal_single_r_grid, policy_quantile,
+    success_probability,
+};
+use reissue::policy::ReissuePolicy;
+
+const K: f64 = 0.95;
+
+/// Theorem 3.1 on empirical (sampled) distributions: grid-optimal
+/// DoubleR never beats grid-optimal SingleR beyond grid slack.
+#[test]
+fn theorem_3_1_on_empirical_distributions() {
+    for (name, rx, ry) in sampled_workloads() {
+        let x = Ecdf::new(rx);
+        let y = Ecdf::new(ry);
+        let d_max = x.quantile(0.999);
+        for budget in [0.05, 0.15, 0.3] {
+            let (_, t_single) = optimal_single_r_grid(&x, &y, K, budget, d_max, 48);
+            let (_, t_double) = optimal_double_r_grid(&x, &y, K, budget, d_max, 14);
+            assert!(
+                t_double >= t_single * 0.93,
+                "{name} B={budget}: DoubleR {t_double} beat SingleR {t_single} beyond slack"
+            );
+        }
+    }
+}
+
+/// Theorem 3.2 flavor: random 3-stage MultipleR policies within budget
+/// never achieve a lower k-quantile than the optimal SingleR.
+#[test]
+fn theorem_3_2_random_multiple_r_never_wins() {
+    let x = Exponential::new(1.0);
+    let y = Exponential::new(1.0);
+    let budget = 0.2;
+    let d_max = 8.0;
+    let (_, t_single) = optimal_single_r_grid(&x, &y, K, budget, d_max, 64);
+
+    let mut rng = seeded(99);
+    let mut tested = 0;
+    for _ in 0..500 {
+        // Random non-decreasing delays and probabilities.
+        let mut ds: Vec<f64> = (0..3)
+            .map(|_| d_max * rand::Rng::gen::<f64>(&mut rng))
+            .collect();
+        ds.sort_by(f64::total_cmp);
+        let qs: Vec<f64> = (0..3).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+        let policy =
+            ReissuePolicy::multiple_r(ds.iter().zip(&qs).map(|(&d, &q)| (d, q)).collect());
+        if expected_budget(&policy, &x, &y) > budget {
+            continue; // outside the budget class
+        }
+        tested += 1;
+        let t = policy_quantile(&policy, &x, &y, K, 20.0, 1e-6);
+        assert!(
+            t >= t_single * 0.99,
+            "MultipleR {policy} achieved {t} < SingleR optimum {t_single}"
+        );
+    }
+    assert!(tested > 50, "too few in-budget policies sampled: {tested}");
+}
+
+/// The §3.1 MultipleR constraint: delays at or before the SingleD
+/// delay d' with Pr(X > d') = B satisfy Pr(X > d_i) ≥ B — and the
+/// model's budget for such policies caps each stage's spend at B.
+#[test]
+fn multiple_r_stage_budgets_bounded() {
+    let x = Pareto::paper_default();
+    let y = Pareto::paper_default();
+    let budget = 0.1;
+    // d' with Pr(X > d') = 0.1 for Pareto(1.1, 2): 2 * 0.1^(-1/1.1).
+    let d_prime = 2.0 * (0.1f64).powf(-1.0 / 1.1);
+    for frac in [0.0, 0.3, 0.7, 1.0] {
+        let d = frac * d_prime;
+        let p = ReissuePolicy::single_r(d, (budget / x_sf(&x, d)).min(1.0));
+        let b = expected_budget(&p, &x, &y);
+        assert!(b <= budget + 1e-9, "d={d}: budget {b}");
+    }
+}
+
+fn x_sf(x: &Pareto, d: f64) -> f64 {
+    use distributions::Cdf;
+    x.sf(d).max(1e-12)
+}
+
+/// Equation (3) and the budget Equation (4) must be mutually
+/// consistent on sampled data: plugging the optimizer's (d, q) back
+/// into the model reproduces its predictions.
+#[test]
+fn optimizer_and_model_agree_on_samples() {
+    let mut rng = seeded(7);
+    let rx = LogNormal::new(1.0, 1.0).sample_n(&mut rng, 30_000);
+    let ry = LogNormal::new(1.0, 1.0).sample_n(&mut rng, 30_000);
+    let opt = reissue::optimizer::compute_optimal_single_r(&rx, &ry, K, 0.1);
+    let x = Ecdf::new(rx);
+    let y = Ecdf::new(ry);
+    let model_success = success_probability(&opt.policy(), &x, &y, opt.predicted_latency);
+    assert!(
+        (model_success - opt.predicted_success).abs() < 0.02,
+        "model {model_success} vs optimizer {}",
+        opt.predicted_success
+    );
+    let model_budget = expected_budget(&opt.policy(), &x, &y);
+    assert!(model_budget <= 0.1 + 1e-9);
+}
+
+fn sampled_workloads() -> Vec<(&'static str, Vec<f64>, Vec<f64>)> {
+    let mut rng = seeded(11);
+    let exp = Exponential::new(1.0);
+    let par = Pareto::paper_default();
+    let ln = LogNormal::new(1.0, 1.0);
+    vec![
+        (
+            "exponential",
+            exp.sample_n(&mut rng, 20_000),
+            exp.sample_n(&mut rng, 20_000),
+        ),
+        (
+            "pareto",
+            par.sample_n(&mut rng, 20_000),
+            par.sample_n(&mut rng, 20_000),
+        ),
+        (
+            "lognormal",
+            ln.sample_n(&mut rng, 20_000),
+            ln.sample_n(&mut rng, 20_000),
+        ),
+        (
+            "mixed",
+            exp.sample_n(&mut rng, 20_000),
+            par.sample_n(&mut rng, 20_000),
+        ),
+    ]
+}

@@ -1,0 +1,109 @@
+//! Benchmarks for the speculative-execution runtime: `None` vs
+//! `SingleD` vs online-adapted `SingleR`, end to end through real TCP
+//! kvstore replicas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hedge::{HedgeConfig, HedgedClient, TcpServer, TcpServerConfig};
+use kvstore::{Command, IntSet, KvStore, Reply};
+use reissue_core::online::OnlineConfig;
+use reissue_core::policy::ReissuePolicy;
+
+fn store() -> KvStore {
+    let mut store = KvStore::new();
+    store.load_set(
+        "evens",
+        IntSet::from_unsorted((0..500u32).map(|i| i * 2).collect()),
+    );
+    store.load_set(
+        "threes",
+        IntSet::from_unsorted((0..500u32).map(|i| i * 3).collect()),
+    );
+    store
+}
+
+fn cluster() -> (Vec<TcpServer>, Vec<std::net::SocketAddr>) {
+    let servers =
+        hedge::spawn_replicas(3, &store(), TcpServerConfig::default()).expect("bind replicas");
+    let addrs = servers.iter().map(|s| s.local_addr()).collect();
+    (servers, addrs)
+}
+
+fn bench_policy(c: &mut Criterion, name: &str, cfg: HedgeConfig) {
+    let (_servers, addrs) = cluster();
+    let client = HedgedClient::connect(&addrs, cfg).expect("connect");
+    let mut group = c.benchmark_group("hedged_query");
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let r = client
+                .execute_blocking(Command::SInterCard("evens".into(), "threes".into()))
+                .unwrap();
+            assert!(matches!(r, Reply::Int(_)));
+        })
+    });
+    group.finish();
+}
+
+fn bench_none(c: &mut Criterion) {
+    bench_policy(
+        c,
+        "policy_none",
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            ..HedgeConfig::default()
+        },
+    );
+}
+
+fn bench_single_d(c: &mut Criterion) {
+    bench_policy(
+        c,
+        "policy_single_d_2ms",
+        HedgeConfig {
+            policy: ReissuePolicy::single_d(2.0),
+            ..HedgeConfig::default()
+        },
+    );
+}
+
+fn bench_online_single_r(c: &mut Criterion) {
+    bench_policy(
+        c,
+        "policy_online_single_r",
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: Some(OnlineConfig {
+                k: 0.99,
+                budget: 0.05,
+                window: 512,
+                reoptimize_every: 128,
+                learning_rate: 0.5,
+            }),
+            ..HedgeConfig::default()
+        },
+    );
+}
+
+fn bench_transport_roundtrip(c: &mut Criterion) {
+    let (_servers, addrs) = cluster();
+    let client = HedgedClient::connect(
+        &addrs,
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            ..HedgeConfig::default()
+        },
+    )
+    .expect("connect");
+    c.bench_function("tcp_ping_roundtrip", |b| {
+        b.iter(|| assert_eq!(client.execute_blocking(Command::Ping).unwrap(), Reply::Pong))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_none, bench_single_d, bench_online_single_r, bench_transport_roundtrip
+}
+criterion_main!(benches);

@@ -114,7 +114,7 @@ fn bench_cdf_structures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

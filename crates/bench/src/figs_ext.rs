@@ -13,9 +13,7 @@
 //!   in the static model; does one-shot SingleR still match a 3-stage
 //!   MultipleR with the same measured budget under queueing feedback?
 
-use crate::{
-    eval_fixed, median, parallel_map, tune_single_r, Scale, Table,
-};
+use crate::{eval_fixed, median, parallel_map, tune_single_r, Scale, Table};
 use reissue_core::ReissuePolicy;
 use simulator::ReissueRouting;
 use workloads::{queueing, WorkloadSpec};
@@ -80,7 +78,13 @@ pub fn ext1_cancellation(scale: Scale) -> Vec<Table> {
 
     let mut t = Table::new(
         "ext1_cancellation",
-        &["budget", "p95_no_cancel", "p95_cancel", "rate_no_cancel", "rate_cancel"],
+        &[
+            "budget",
+            "p95_no_cancel",
+            "p95_cancel",
+            "rate_no_cancel",
+            "rate_cancel",
+        ],
     );
     for r in rows {
         t.push(r);
@@ -101,15 +105,11 @@ pub fn ext2_routing(scale: Scale) -> Vec<Table> {
         avoid.cluster.reissue_routing = ReissueRouting::AvoidPrimary;
 
         // One policy per seed, two routing rules (see ext1 on why).
-        let (a, v, _, _) =
-            paired_ab(&any, &avoid, queries, seeds_ref, budget, scale.trials(6));
+        let (a, v, _, _) = paired_ab(&any, &avoid, queries, seeds_ref, budget, scale.trials(6));
         vec![budget, a, v]
     });
 
-    let mut t = Table::new(
-        "ext2_routing",
-        &["budget", "p95_any", "p95_avoid_primary"],
-    );
+    let mut t = Table::new("ext2_routing", &["budget", "p95_any", "p95_avoid_primary"]);
     for r in rows {
         t.push(r);
     }
@@ -159,7 +159,13 @@ pub fn ext3_multiple_r(scale: Scale) -> Vec<Table> {
 
     let mut t = Table::new(
         "ext3_multiple_r",
-        &["budget", "p95_singler", "p95_multipler3", "rate_singler", "rate_multipler3"],
+        &[
+            "budget",
+            "p95_singler",
+            "p95_multipler3",
+            "rate_singler",
+            "rate_multipler3",
+        ],
     );
     for r in rows {
         t.push(r);

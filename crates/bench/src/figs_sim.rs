@@ -224,8 +224,16 @@ pub fn fig3(scale: Scale) -> Vec<Table> {
                 p.single_d.rate,
                 p.reduction_d,
             ]);
-            b.push(vec![p.budget, p.single_r.remediation, p.single_d.remediation]);
-            c.push(vec![p.budget, p.single_r.outstanding, p.single_r.probability]);
+            b.push(vec![
+                p.budget,
+                p.single_r.remediation,
+                p.single_d.remediation,
+            ]);
+            c.push(vec![
+                p.budget,
+                p.single_r.outstanding,
+                p.single_r.probability,
+            ]);
         }
         tables.push(a);
         tables.push(b);
@@ -389,7 +397,13 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
     let queries = scale.queries(40_000);
     let seeds = scale.seeds(2);
     let dists = [
-        ("lognormal_1_1", DistSpec::LogNormal { mu: 1.0, sigma: 1.0 }),
+        (
+            "lognormal_1_1",
+            DistSpec::LogNormal {
+                mu: 1.0,
+                sigma: 1.0,
+            },
+        ),
         ("exp_0_1", DistSpec::Exponential { rate: 0.1 }),
     ];
     let utils = [0.2, 0.3, 0.5];
@@ -410,14 +424,7 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
     let seeds_ref = &seeds;
     let rows: Vec<(usize, f64, f64, f64, f64, f64)> =
         parallel_map(jobs, |(di, dist, util, k, budget)| {
-            let spec = queueing_custom(
-                dist,
-                0.0,
-                util,
-                Balancer::Random,
-                Discipline::Fifo,
-                61,
-            );
+            let spec = queueing_custom(dist, 0.0, util, Balancer::Random, Discipline::Fifo, 61);
             let base = eval_policy(&spec, queries, seeds_ref, k, &ReissuePolicy::None).0;
             let tuned =
                 eval_tuned_single_r(&spec, queries, seeds_ref, k, budget, scale.trials(6), 0.5);
@@ -427,9 +434,7 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
     dists
         .iter()
         .enumerate()
-        .flat_map(|(di, (name, _))| {
-            percentiles.iter().map(move |&k| (di, *name, k))
-        })
+        .flat_map(|(di, (name, _))| percentiles.iter().map(move |&k| (di, *name, k)))
         .map(|(di, name, k)| {
             let mut t = Table::new(
                 format!("fig6_{}_p{}", name, (k * 100.0) as u32),
@@ -440,9 +445,7 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
                 for &u in &utils {
                     let v = rows
                         .iter()
-                        .find(|r| {
-                            r.0 == di && r.1 == u && r.2 == k && r.3 == b
-                        })
+                        .find(|r| r.0 == di && r.1 == u && r.2 == k && r.3 == b)
                         .map(|r| r.4)
                         .unwrap_or(f64::NAN);
                     row.push(v);

@@ -120,7 +120,13 @@ pub fn fig7a_with(scale: Scale, redis_costs: &[f64], lucene_costs: &[f64]) -> Ve
         .map(|&sys| {
             let mut t = Table::new(
                 format!("fig7a_{}", sys.label()),
-                &["budget", "singler_p99", "singler_rate", "singled_p99", "singled_rate"],
+                &[
+                    "budget",
+                    "singler_p99",
+                    "singler_rate",
+                    "singled_p99",
+                    "singled_rate",
+                ],
             );
             for r in rows.iter().filter(|r| r.0 == sys) {
                 t.push(vec![r.1, r.2, r.3, r.4, r.5]);
@@ -227,8 +233,7 @@ pub fn fig7c_with(scale: Scale, redis_costs: &[f64], lucene_costs: &[f64]) -> Ve
                 if budget == 0.0 {
                     return base;
                 }
-                let tuned =
-                    tune_single_r(&spec, queries, seed, K, budget, scale.trials(6), 0.5);
+                let tuned = tune_single_r(&spec, queries, seed, K, budget, scale.trials(6), 0.5);
                 eval_policy(&spec, queries, &[seed], K, &tuned.policy).0
             },
             0.01,
@@ -315,10 +320,7 @@ pub fn fig9_with(redis_costs: &[f64], lucene_costs: &[f64]) -> Vec<Table> {
         for &c in costs {
             h.record(c);
         }
-        let mut t = Table::new(
-            format!("fig9_{name}_hist"),
-            &["bin_mid_ms", "count"],
-        );
+        let mut t = Table::new(format!("fig9_{name}_hist"), &["bin_mid_ms", "count"]);
         for (mid, count) in h.bins() {
             t.push(vec![mid, count as f64]);
         }

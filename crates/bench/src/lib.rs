@@ -123,9 +123,9 @@ where
         .unwrap_or(2)
         .min(n.max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -135,8 +135,7 @@ where
                 *results[i].lock().unwrap() = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_iter()

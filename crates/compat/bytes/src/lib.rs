@@ -1,0 +1,261 @@
+//! Vendored, `std`-only shim for the subset of the `bytes` 1.x API this
+//! workspace uses (see `crates/compat/README.md`).
+//!
+//! [`Bytes`] is a cheaply-clonable immutable byte buffer (an
+//! `Arc<[u8]>` under the hood — no sub-slicing views, which the
+//! workspace does not need). [`BytesMut`] is a growable buffer backed
+//! by `Vec<u8>` with the `split_to`/`advance` front-consumption calls
+//! the RESP codec relies on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable contiguous byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copies under this shim; the real
+    /// crate aliases — semantics are identical for readers).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: bytes.into() }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.data).escape_debug()
+        )
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.data[..] == *other
+    }
+}
+
+/// Byte-cursor trait: front consumption of a buffer.
+pub trait Buf {
+    /// Discards the first `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+}
+
+/// A growable byte buffer supporting front consumption.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Removes and returns the first `at` bytes as a new buffer.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance out of bounds");
+        self.data.drain(..cnt);
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.data).escape_debug()
+        )
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for BytesMut {
+    fn from(s: &[u8; N]) -> Self {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { data: v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_basics() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.len(), 5);
+        let c = b.clone();
+        assert_eq!(b, c);
+        let d = Bytes::from(String::from("hello"));
+        assert_eq!(b, d);
+    }
+
+    #[test]
+    fn bytesmut_split_and_advance() {
+        let mut m = BytesMut::from(&b"abcdef"[..]);
+        let head = m.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&m[..], b"cdef");
+        m.advance(1);
+        assert_eq!(&m[..], b"def");
+        assert_eq!(m.remaining(), 3);
+        let frozen = m.freeze();
+        assert_eq!(&frozen[..], b"def");
+    }
+
+    #[test]
+    fn bytesmut_take_default() {
+        let mut m = BytesMut::from(&b"xy"[..]);
+        let taken = std::mem::take(&mut m);
+        assert_eq!(&taken[..], b"xy");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bytes_as_hashmap_key() {
+        use std::collections::HashMap;
+        let mut map: HashMap<Bytes, u32> = HashMap::new();
+        map.insert(Bytes::from_static(b"k"), 1);
+        assert_eq!(map.get(&Bytes::copy_from_slice(b"k")), Some(&1));
+    }
+}

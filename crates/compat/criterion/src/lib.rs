@@ -1,0 +1,300 @@
+//! Vendored, `std`-only shim for the subset of `criterion` this
+//! workspace uses (see `crates/compat/README.md`).
+//!
+//! Benchmarks compile against the familiar `criterion_group!` /
+//! `criterion_main!` / `bench_function` API but are measured with a
+//! plain wall-clock sampler: per benchmark, a short warm-up sizes the
+//! per-sample iteration count, then `sample_size` samples are taken and
+//! the median per-iteration time is reported on stdout. Passing
+//! `--test` (as `cargo test --benches` does) runs every benchmark body
+//! once and skips measurement.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (no function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    /// `Some(ns)` after `iter`: median nanoseconds per iteration.
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            self.result_ns = None;
+            return;
+        }
+        // Warm-up: run until warm_up_time elapses to size iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.cfg.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let samples = self.cfg.sample_size.max(2);
+        let budget = self.cfg.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter).floor() as u64).clamp(1, 1_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(times[times.len() / 2]);
+    }
+}
+
+fn report(name: &str, ns: Option<f64>, throughput: Option<Throughput>) {
+    match ns {
+        None => println!("bench {name:<40} ok (test mode)"),
+        Some(ns) => {
+            let human = if ns >= 1e9 {
+                format!("{:.3} s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.3} ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.3} µs", ns / 1e3)
+            } else {
+                format!("{ns:.1} ns")
+            };
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.2} Melem/s)", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.2} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("bench {name:<40} {human:>12}/iter{rate}");
+        }
+    }
+}
+
+/// Benchmark driver configuration; also the entry point handle.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            cfg: self,
+            result_ns: None,
+        };
+        f(&mut b);
+        report(name, b.result_ns, None);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cfg: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    cfg: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            result_ns: None,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.result_ns,
+            self.throughput,
+        );
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            result_ns: None,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.result_ns,
+            self.throughput,
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.test_mode = false;
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("p", 1), &1, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Vendored, `std`-only shim for the subset of the `rand` 0.8 API this
+//! workspace uses (see `crates/compat/README.md`).
+//!
+//! Provides [`rngs::SmallRng`] — xoshiro256++ with splitmix64 seeding —
+//! plus the [`Rng`] and [`SeedableRng`] traits with `gen`, `gen_range`
+//! and `gen_bool`.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding support (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Deterministically constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // Uniform over [lo, hi]: scale 53-bit integer inclusively.
+        let max = (1u64 << 53) - 1;
+        let u = (rng.next_u64() >> 11) as f64 / max as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T` (uniform in
+    /// `[0, 1)` for floats, full-range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// splitmix64 step, used for seed expansion.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xa: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let xc: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=5u32);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate={rate}");
+    }
+}

@@ -159,12 +159,7 @@ pub fn adapt<S: System + ?Sized>(system: &mut S, cfg: &AdaptiveConfig) -> Adapti
         // Re-optimize on observed distributions. Prefer the
         // correlation-aware optimizer whenever we have joint samples.
         let local = if sample.pairs.len() >= 2 {
-            compute_optimal_single_r_correlated(
-                &sample.primary,
-                &sample.pairs,
-                cfg.k,
-                cfg.budget,
-            )
+            compute_optimal_single_r_correlated(&sample.primary, &sample.pairs, cfg.k, cfg.budget)
         } else {
             // Nothing was reissued (e.g. q=0 or tiny run): fall back to
             // treating reissues as exchangeable with primaries.
@@ -190,8 +185,8 @@ pub fn adapt<S: System + ?Sized>(system: &mut S, cfg: &AdaptiveConfig) -> Adapti
         // the measured rate is on budget, and the optimizer has stopped
         // asking to move the delay (otherwise an accurate in-sample
         // prediction would halt the climb long before the fixed point).
-        let pred_ok = (predicted - observed).abs()
-            <= cfg.tolerance * observed.max(f64::MIN_POSITIVE);
+        let pred_ok =
+            (predicted - observed).abs() <= cfg.tolerance * observed.max(f64::MIN_POSITIVE);
         let rate_ok = (sample.reissue_rate - cfg.budget).abs() <= cfg.tolerance.max(0.01);
         let delay_ok = (local.delay - delay).abs()
             <= cfg.tolerance * local.delay.max(delay).max(f64::MIN_POSITIVE);
@@ -206,8 +201,7 @@ pub fn adapt<S: System + ?Sized>(system: &mut S, cfg: &AdaptiveConfig) -> Adapti
         } else {
             1.0
         };
-        pending_prediction =
-            predict_latency(&sample.primary, &sample.pairs, cfg.k, delay, prob);
+        pending_prediction = predict_latency(&sample.primary, &sample.pairs, cfg.k, delay, prob);
 
         if pred_ok && rate_ok && delay_ok && trials.len() > 1 {
             converged = true;

@@ -44,7 +44,6 @@ pub mod policy;
 
 pub use ecdf::Ecdf;
 pub use optimizer::{
-    compute_optimal_single_r, compute_optimal_single_r_correlated, predict_latency,
-    OptimalSingleR,
+    compute_optimal_single_r, compute_optimal_single_r_correlated, predict_latency, OptimalSingleR,
 };
 pub use policy::ReissuePolicy;

@@ -37,10 +37,7 @@ pub fn remediation_rate(pairs: &[(f64, f64)], t: f64, d: f64) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let remedied = pairs
-        .iter()
-        .filter(|&&(x, y)| x > t && y < t - d)
-        .count();
+    let remedied = pairs.iter().filter(|&&(x, y)| x > t && y < t - d).count();
     remedied as f64 / pairs.len() as f64
 }
 
@@ -260,10 +257,10 @@ mod tests {
         let t = 10.0;
         let d = 2.0;
         let pairs = [
-            (12.0, 5.0),  // x > t, y < 8  -> remedied
-            (12.0, 9.0),  // x > t, y ≥ 8  -> reissue too slow
-            (7.0, 1.0),   // x ≤ t          -> reissue unnecessary
-            (15.0, 7.9),  // remedied
+            (12.0, 5.0), // x > t, y < 8  -> remedied
+            (12.0, 9.0), // x > t, y ≥ 8  -> reissue too slow
+            (7.0, 1.0),  // x ≤ t          -> reissue unnecessary
+            (15.0, 7.9), // remedied
         ];
         assert!((remediation_rate(&pairs, t, d) - 0.5).abs() < 1e-12);
         assert_eq!(remediation_rate(&[], t, d), 0.0);

@@ -24,17 +24,16 @@ use distributions::Cdf;
 /// ```text
 /// Gᵢ = qᵢ · Pr(X > t) · Πⱼ<ᵢ (1 − qⱼ·Pr(Y ≤ t−dⱼ)) · Pr(Y ≤ t−dᵢ)
 /// ```
-pub fn success_probability(
-    policy: &ReissuePolicy,
-    x: &impl Cdf,
-    y: &impl Cdf,
-    t: f64,
-) -> f64 {
+pub fn success_probability(policy: &ReissuePolicy, x: &impl Cdf, y: &impl Cdf, t: f64) -> f64 {
     let px = x.cdf(t);
     let mut success = px;
     let mut none_of_earlier_helped = 1.0;
     for s in policy.stages() {
-        let py = if t >= s.delay { y.cdf(t - s.delay) } else { 0.0 };
+        let py = if t >= s.delay {
+            y.cdf(t - s.delay)
+        } else {
+            0.0
+        };
         success += s.prob * (1.0 - px) * none_of_earlier_helped * py;
         none_of_earlier_helped *= 1.0 - s.prob * py;
     }
@@ -250,9 +249,7 @@ mod tests {
         let y = Exponential::new(1.0);
         let p = ReissuePolicy::single_r(5.0, 1.0);
         // For t < d the reissue has not happened yet.
-        assert!(
-            (success_probability(&p, &x, &y, 3.0) - x.cdf(3.0)).abs() < 1e-12
-        );
+        assert!((success_probability(&p, &x, &y, 3.0) - x.cdf(3.0)).abs() < 1e-12);
     }
 
     #[test]
@@ -274,14 +271,7 @@ mod tests {
         let x = Exponential::new(1.0);
         let y = Exponential::new(1.0);
         let base = x.quantile(K);
-        let hedged = policy_quantile(
-            &ReissuePolicy::immediate(),
-            &x,
-            &y,
-            K,
-            base,
-            1e-9,
-        );
+        let hedged = policy_quantile(&ReissuePolicy::immediate(), &x, &y, K, base, 1e-9);
         // Immediate duplicate of Exp(1): P95 of min of two ~ half.
         assert!(hedged < base * 0.6, "hedged={hedged} base={base}");
     }

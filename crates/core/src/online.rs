@@ -165,9 +165,7 @@ impl OnlineAdapter {
             delay: self.delay,
             probability: self.probability,
             outstanding_at_delay: outstanding,
-            predicted_latency: self
-                .last_opt
-                .map_or(f64::NAN, |o| o.predicted_latency),
+            predicted_latency: self.last_opt.map_or(f64::NAN, |o| o.predicted_latency),
             budget_used: self.probability * outstanding,
             predicted_success: self.last_opt.map_or(f64::NAN, |o| o.predicted_success),
         }
@@ -289,9 +287,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "window")]
     fn tiny_window_rejected() {
-        let _ = OnlineAdapter::new(OnlineConfig {
-            window: 4,
-            ..cfg()
-        });
+        let _ = OnlineAdapter::new(OnlineConfig { window: 4, ..cfg() });
     }
 }

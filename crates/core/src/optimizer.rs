@@ -56,10 +56,7 @@ fn validate_inputs(rx: &[f64], k: f64, budget: f64) {
         (0.0..=1.0).contains(&budget),
         "budget must be in [0,1], got {budget}"
     );
-    assert!(
-        rx.iter().all(|v| v.is_finite()),
-        "samples must be finite"
-    );
+    assert!(rx.iter().all(|v| v.is_finite()), "samples must be finite");
 }
 
 /// `ComputeOptimalSingleR(RX, RY, k, B)` — Figure 1 of the paper.
@@ -79,12 +76,7 @@ fn validate_inputs(rx: &[f64], k: f64, budget: f64) {
 ///
 /// # Panics
 /// Panics on empty/non-finite samples or out-of-range `k`/`budget`.
-pub fn compute_optimal_single_r(
-    rx: &[f64],
-    ry: &[f64],
-    k: f64,
-    budget: f64,
-) -> OptimalSingleR {
+pub fn compute_optimal_single_r(rx: &[f64], ry: &[f64], k: f64, budget: f64) -> OptimalSingleR {
     validate_inputs(rx, k, budget);
     assert!(!ry.is_empty(), "need at least one reissue sample");
     assert!(ry.iter().all(|v| v.is_finite()), "samples must be finite");
@@ -202,7 +194,10 @@ pub fn compute_optimal_single_r_correlated(
     budget: f64,
 ) -> OptimalSingleR {
     validate_inputs(rx, k, budget);
-    assert!(!pairs.is_empty(), "need at least one (primary, reissue) pair");
+    assert!(
+        !pairs.is_empty(),
+        "need at least one (primary, reissue) pair"
+    );
     assert!(
         pairs.iter().all(|p| p.0.is_finite() && p.1.is_finite()),
         "pairs must be finite"
@@ -310,11 +305,7 @@ pub fn predict_latency(rx: &[f64], pairs: &[(f64, f64)], k: f64, d: f64, q: f64)
     } else {
         None
     };
-    let mut ys = if use_pairs {
-        Vec::new()
-    } else {
-        xs.clone()
-    };
+    let mut ys = if use_pairs { Vec::new() } else { xs.clone() };
     ys.sort_by(f64::total_cmp);
 
     for (i, &t) in xs.iter().enumerate() {
@@ -419,8 +410,7 @@ mod tests {
             let r = compute_optimal_single_r(&rx, &ry, k, budget);
             let x = Exponential::new(1.0);
             let y = Exponential::new(1.0);
-            let model_t =
-                policy_quantile(&r.policy(), &x, &y, k, x.quantile(0.9999), 1e-6);
+            let model_t = policy_quantile(&r.policy(), &x, &y, k, x.quantile(0.9999), 1e-6);
             let rel = (r.predicted_latency - model_t).abs() / model_t;
             assert!(
                 rel < 0.1,
@@ -464,12 +454,8 @@ mod tests {
         let r = compute_optimal_single_r(&rx, &ry, k, budget);
         let (_, t_grid) =
             crate::model::optimal_single_r_grid(&x, &y, k, budget, x.quantile(0.99), 200);
-        let t_opt =
-            policy_quantile(&r.policy(), &x, &y, k, x.quantile(0.99999), 1e-4);
-        assert!(
-            t_opt <= t_grid * 1.1,
-            "optimizer {t_opt} vs grid {t_grid}"
-        );
+        let t_opt = policy_quantile(&r.policy(), &x, &y, k, x.quantile(0.99999), 1e-4);
+        assert!(t_opt <= t_grid * 1.1, "optimizer {t_opt} vs grid {t_grid}");
     }
 
     #[test]
@@ -538,9 +524,13 @@ mod tests {
         let budget = 0.1;
         let ind = compute_optimal_single_r(&rx, &ry, k, budget);
         let cor = compute_optimal_single_r_correlated(&rx, &pairs, k, budget);
-        let rel = (ind.predicted_latency - cor.predicted_latency).abs()
-            / ind.predicted_latency;
-        assert!(rel < 0.15, "ind={} cor={}", ind.predicted_latency, cor.predicted_latency);
+        let rel = (ind.predicted_latency - cor.predicted_latency).abs() / ind.predicted_latency;
+        assert!(
+            rel < 0.15,
+            "ind={} cor={}",
+            ind.predicted_latency,
+            cor.predicted_latency
+        );
     }
 
     #[test]

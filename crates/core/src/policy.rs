@@ -290,10 +290,8 @@ mod tests {
             format!("{}", ReissuePolicy::single_r(1.0, 0.25)),
             "SingleR(d=1.000, q=0.250)"
         );
-        assert!(format!(
-            "{}",
-            ReissuePolicy::double_r(1.0, 0.5, 2.0, 0.25)
-        )
-        .starts_with("MultipleR["));
+        assert!(
+            format!("{}", ReissuePolicy::double_r(1.0, 0.5, 2.0, 0.25)).starts_with("MultipleR[")
+        );
     }
 }

@@ -396,10 +396,7 @@ mod tests {
         for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
             let q = d.quantile(p);
             let emp = xs.partition_point(|&x| x <= q) as f64 / xs.len() as f64;
-            assert!(
-                (emp - p).abs() < 0.01,
-                "p={p} q={q} emp={emp}"
-            );
+            assert!((emp - p).abs() < 0.01, "p={p} q={q} emp={emp}");
         }
     }
 
@@ -444,8 +441,8 @@ mod tests {
         let d = LogNormal::from_mean_std(39.73, 21.88);
         assert!((d.mean() - 39.73).abs() < 1e-6);
         // Verify the implied std via moments: var = (e^{σ²}−1)e^{2μ+σ²}.
-        let var = ((d.sigma() * d.sigma()).exp() - 1.0)
-            * (2.0 * d.mu() + d.sigma() * d.sigma()).exp();
+        let var =
+            ((d.sigma() * d.sigma()).exp() - 1.0) * (2.0 * d.mu() + d.sigma() * d.sigma()).exp();
         assert!((var.sqrt() - 21.88).abs() < 1e-6);
     }
 

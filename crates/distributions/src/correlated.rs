@@ -1,6 +1,6 @@
 //! The paper's correlated primary/reissue service-time generator.
 
-use crate::{Sample, Cdf};
+use crate::{Cdf, Sample};
 use rand::rngs::SmallRng;
 
 /// Generates correlated (primary, reissue) service-time pairs using the

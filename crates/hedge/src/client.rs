@@ -1,0 +1,444 @@
+//! The hedged client: speculative execution driven by a
+//! [`ReissuePolicy`], with live (`OnlineAdapter`) re-optimization.
+//!
+//! Per query the client:
+//!
+//! 1. dispatches the **primary** to the next replica (round-robin);
+//! 2. samples the policy's reissue schedule — for SingleR, a coin with
+//!    probability `q` decides *now* whether a reissue is armed at
+//!    delay `d` (distributionally identical to flipping at fire time,
+//!    see [`ReissuePolicy::sample_schedule`]);
+//! 3. races the primary against the armed timer; if the timer fires
+//!    first, dispatches the **reissue** to a different replica;
+//! 4. returns the first reply and cancels the loser via its
+//!    [`CancelToken`] — the transport pushes `CANCEL <seq>` to the
+//!    backend, which retracts the queued frame if it has not executed
+//!    (tied requests);
+//! 5. feeds observed latencies into the [`OnlineAdapter`], which
+//!    re-optimizes `(d, q)` every `reoptimize_every` completions while
+//!    the system serves.
+
+use crate::rt::{race, Either, Runtime};
+use crate::sync::CancelToken;
+use crate::transport::{ReplicaSet, TransportError};
+
+use kvstore::{Command, Reply};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reissue_core::online::{OnlineAdapter, OnlineConfig};
+use reissue_core::policy::ReissuePolicy;
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`HedgedClient`].
+#[derive(Clone, Debug)]
+pub struct HedgeConfig {
+    /// The starting policy (used as-is when `online` is `None`).
+    pub policy: ReissuePolicy,
+    /// When set, an [`OnlineAdapter`] re-optimizes `(d, q)` from
+    /// observed latencies while serving, overriding `policy` once
+    /// warmed up.
+    pub online: Option<OnlineConfig>,
+    /// Cap on the *realized* reissue rate (reissues / queries),
+    /// enforced by a running-counter governor independent of the
+    /// policy's own `(d, q)` accounting. This is a safety valve, not a
+    /// tight limiter: the policy keeps the *expected* rate at the
+    /// budget, and the governor bounds the realized rate when the
+    /// adapter is mid-correction (serving feeds back into the latency
+    /// distribution, so `P(T > d)` moves between re-optimizations).
+    /// Defaults to 1.25× the online budget when online adaptation is
+    /// on — a governor pinned exactly at the steady-state demand
+    /// denies hedges first-come-first-served, which starves precisely
+    /// the stragglers that arrive in bursts behind a query of death.
+    pub budget_cap: Option<f64>,
+    /// TCP connections per replica.
+    pub pool_per_replica: usize,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Seed for the reissue coin flips.
+    pub seed: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: None,
+            budget_cap: None,
+            pool_per_replica: 4,
+            workers: 4,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Counters published by the client (monotonic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HedgeStats {
+    /// Queries completed.
+    pub queries: u64,
+    /// Reissues actually dispatched (the timer fired and the coin had
+    /// come up heads).
+    pub reissues: u64,
+    /// Queries won by the reissue rather than the primary.
+    pub reissue_wins: u64,
+    /// Loser requests whose cancellation reached the backend in time
+    /// (retracted before execution).
+    pub cancelled_in_time: u64,
+    /// Transport errors observed (winner path only).
+    pub errors: u64,
+}
+
+struct PolicyState {
+    policy: ReissuePolicy,
+    adapter: Option<OnlineAdapter>,
+    rng: SmallRng,
+}
+
+struct Counters {
+    queries: AtomicU64,
+    reissues: AtomicU64,
+    reissue_wins: AtomicU64,
+    cancelled_in_time: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Sliding window of the most recent query latencies: bounded memory
+/// for long-serving clients (a plain grow-forever `Vec` would leak).
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+/// Samples retained for [`HedgedClient::latency_quantile`].
+const LATENCY_WINDOW: usize = 1 << 17;
+
+impl LatencyRing {
+    fn push(&mut self, v: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+struct HcInner {
+    rt: Runtime,
+    replicas: ReplicaSet,
+    state: Mutex<PolicyState>,
+    counters: Counters,
+    latencies_ms: Mutex<LatencyRing>,
+    budget_cap: Option<f64>,
+}
+
+/// A hedging client over a set of kvstore replicas. Cheap to clone
+/// (all clones share connections, policy state and statistics).
+#[derive(Clone)]
+pub struct HedgedClient {
+    inner: Arc<HcInner>,
+}
+
+impl HedgedClient {
+    /// Connects to the replicas and starts the runtime.
+    pub fn connect(addrs: &[SocketAddr], cfg: HedgeConfig) -> std::io::Result<HedgedClient> {
+        let replicas = ReplicaSet::connect(addrs, cfg.pool_per_replica)?;
+        let budget_cap = cfg.budget_cap.or(cfg.online.map(|o| 1.25 * o.budget));
+        let adapter = cfg.online.map(OnlineAdapter::new);
+        Ok(HedgedClient {
+            inner: Arc::new(HcInner {
+                rt: Runtime::new(cfg.workers),
+                replicas,
+                state: Mutex::new(PolicyState {
+                    policy: cfg.policy,
+                    adapter,
+                    rng: SmallRng::seed_from_u64(cfg.seed),
+                }),
+                counters: Counters {
+                    queries: AtomicU64::new(0),
+                    reissues: AtomicU64::new(0),
+                    reissue_wins: AtomicU64::new(0),
+                    cancelled_in_time: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                },
+                latencies_ms: Mutex::new(LatencyRing {
+                    samples: Vec::new(),
+                    next: 0,
+                }),
+                budget_cap,
+            }),
+        })
+    }
+
+    /// The executor, for spawning concurrent load generators.
+    pub fn runtime(&self) -> &Runtime {
+        &self.inner.rt
+    }
+
+    /// The current policy (live view; moves as the adapter re-optimizes).
+    pub fn policy(&self) -> ReissuePolicy {
+        self.inner.state.lock().unwrap().policy.clone()
+    }
+
+    /// The online adapter's current `(d, q)` record with its budget
+    /// accounting, if online adaptation is enabled.
+    pub fn online_policy(&self) -> Option<reissue_core::optimizer::OptimalSingleR> {
+        let st = self.inner.state.lock().unwrap();
+        st.adapter.as_ref().map(|a| a.policy())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HedgeStats {
+        let c = &self.inner.counters;
+        HedgeStats {
+            queries: c.queries.load(Ordering::Relaxed),
+            reissues: c.reissues.load(Ordering::Relaxed),
+            reissue_wins: c.reissue_wins.load(Ordering::Relaxed),
+            cancelled_in_time: c.cancelled_in_time.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of queries slower than `threshold_ms` among the most
+    /// recent [`LATENCY_WINDOW`] completions.
+    pub fn latencies_over(&self, threshold_ms: f64) -> usize {
+        self.inner
+            .latencies_ms
+            .lock()
+            .unwrap()
+            .samples
+            .iter()
+            .filter(|&&l| l > threshold_ms)
+            .count()
+    }
+
+    /// Quantile of end-to-end query latencies (ms) over the most
+    /// recent [`LATENCY_WINDOW`] completions.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let lat = self.inner.latencies_ms.lock().unwrap();
+        if lat.samples.is_empty() {
+            return None;
+        }
+        let mut v = lat.samples.clone();
+        drop(lat);
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Executes one command with hedging; resolves to the winning
+    /// reply. The returned future is `'static`: spawn any number
+    /// concurrently.
+    pub fn execute(
+        &self,
+        cmd: Command,
+    ) -> impl std::future::Future<Output = Result<Reply, TransportError>> + Send + 'static {
+        let inner = self.inner.clone();
+        async move {
+            // Sample the primary and the reissue schedule up-front;
+            // the reissue *target* is chosen at fire time, when load
+            // information is current.
+            let primary_idx = inner.replicas.pick_primary();
+            let schedule: Option<Duration> = {
+                let mut st = inner.state.lock().unwrap();
+                let stages = st.policy.stages();
+                stages.first().and_then(|s| {
+                    let fire = s.prob >= 1.0 || (s.prob > 0.0 && st.rng.gen::<f64>() < s.prob);
+                    fire.then(|| Duration::from_secs_f64(s.delay.max(0.0) / 1e3))
+                })
+            };
+
+            let started = Instant::now();
+            let primary_token = CancelToken::new();
+            let primary = inner
+                .replicas
+                .replica(primary_idx)
+                .request(cmd.clone(), primary_token.clone());
+
+            let outcome = match schedule {
+                None => primary.await.map(|r| (r, false)),
+                Some(delay) => {
+                    // Arm the SingleR timer. If the budget governor has
+                    // no quota when it fires, re-arm and ask again each
+                    // interval: a query still outstanding after several
+                    // delays is precisely the straggler hedging exists
+                    // for, and re-asking gives it priority over the
+                    // steady trickle of marginal just-past-d hedges
+                    // that would otherwise consume the quota
+                    // first-come-first-served.
+                    let mut primary = primary;
+                    loop {
+                        match race(primary, inner.rt.sleep(delay)).await {
+                            // Primary finished: no reissue needed.
+                            Either::Left((reply, _timer)) => {
+                                break reply.map(|r| (r, false));
+                            }
+                            Either::Right((p, ())) if !inner.governor_allows() => {
+                                primary = p; // re-arm and re-ask
+                            }
+                            // Timer fired with quota available: send
+                            // the reissue and race the two requests.
+                            Either::Right((p, ())) => {
+                                inner.counters.reissues.fetch_add(1, Ordering::Relaxed);
+                                let reissue_idx = inner.replicas.pick_reissue(primary_idx);
+                                let reissue_token = CancelToken::new();
+                                let reissue = inner
+                                    .replicas
+                                    .replica(reissue_idx)
+                                    .request(cmd.clone(), reissue_token.clone());
+                                let reissue_started = Instant::now();
+                                break match race(p, reissue).await {
+                                    Either::Left((reply, loser)) => {
+                                        reissue_token.cancel();
+                                        inner.clone().drain_loser(
+                                            loser,
+                                            reissue_started,
+                                            LoserKind::Reissue,
+                                        );
+                                        reply.map(|r| (r, false))
+                                    }
+                                    Either::Right((loser, reply)) => {
+                                        primary_token.cancel();
+                                        inner.counters.reissue_wins.fetch_add(1, Ordering::Relaxed);
+                                        // The winning reissue's own
+                                        // response time, from *its*
+                                        // dispatch.
+                                        inner.observe(Observation::Reissue(
+                                            reissue_started.elapsed().as_secs_f64() * 1e3,
+                                        ));
+                                        inner.clone().drain_loser(
+                                            loser,
+                                            started,
+                                            LoserKind::Primary,
+                                        );
+                                        reply.map(|r| (r, true))
+                                    }
+                                };
+                            }
+                        }
+                    }
+                }
+            };
+
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            // Lightweight tail tracing: HEDGE_DEBUG=1 reports every
+            // query slower than 10 ms and whether it had hedged.
+            if elapsed_ms > 10.0 && std::env::var_os("HEDGE_DEBUG").is_some() {
+                eprintln!("[hedge] slow {elapsed_ms:.2}ms armed={schedule:?} cmd={cmd:?}");
+            }
+            inner.counters.queries.fetch_add(1, Ordering::Relaxed);
+            match outcome {
+                Ok((reply, won_by_reissue)) => {
+                    inner.latencies_ms.lock().unwrap().push(elapsed_ms);
+                    // Only *true completions* feed the adapter: the
+                    // primary stream sees primary wins here (and
+                    // too-late-to-cancel losers via the drain task).
+                    // Retracted primaries are censored out, which makes
+                    // the adapter's outstanding-mass estimate
+                    // optimistic and its `q` high — deliberately so:
+                    // feeding hedged outcomes back in as primary
+                    // samples would permanently inflate the
+                    // above-delay mass and pin `q` below 1, leaking
+                    // exactly the victims hedging exists to save. The
+                    // realized reissue rate is enforced independently
+                    // by the budget governor.
+                    if !won_by_reissue {
+                        inner.observe(Observation::Primary(elapsed_ms));
+                    }
+                    Ok(reply)
+                }
+                Err(e) => {
+                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Blocking convenience wrapper around [`HedgedClient::execute`].
+    pub fn execute_blocking(&self, cmd: Command) -> Result<Reply, TransportError> {
+        let fut = self.execute(cmd);
+        self.inner.rt.block_on(fut)
+    }
+}
+
+enum Observation {
+    Primary(f64),
+    Reissue(f64),
+}
+
+enum LoserKind {
+    Primary,
+    Reissue,
+}
+
+impl HcInner {
+    /// Whether the budget governor permits one more reissue right now:
+    /// the realized rate including it must stay at or under the cap,
+    /// plus a small burst allowance. The burst term is essential, not
+    /// cosmetic: `queries` advances on *completions*, and the moments
+    /// that need hedging most — every in-flight query stuck behind a
+    /// query of death — are exactly the moments completions stall. A
+    /// zero-burst governor deadlocks there: no completions, no quota,
+    /// no hedges, until the monster finishes on its own.
+    fn governor_allows(&self) -> bool {
+        let Some(cap) = self.budget_cap else {
+            return true;
+        };
+        let burst = (cap * 200.0).clamp(2.0, 16.0);
+        let queries = self.counters.queries.load(Ordering::Relaxed) + 1;
+        let reissues = self.counters.reissues.load(Ordering::Relaxed) + 1;
+        reissues as f64 <= cap * queries as f64 + burst
+    }
+
+    /// Feeds one latency observation to the adapter and refreshes the
+    /// live policy from it — the serving-time re-optimization loop.
+    fn observe(&self, obs: Observation) {
+        let mut st = self.state.lock().unwrap();
+        let Some(adapter) = st.adapter.as_mut() else {
+            return;
+        };
+        match obs {
+            Observation::Primary(ms) => adapter.observe_primary(ms),
+            Observation::Reissue(ms) => adapter.observe_reissue(ms),
+        }
+        let live = adapter.policy();
+        if live.probability > 0.0 && live.delay.is_finite() && live.delay >= 0.0 {
+            st.policy = ReissuePolicy::single_r(live.delay, live.probability.clamp(0.0, 1.0));
+        }
+    }
+
+    /// Asynchronously drains a losing request: records whether the
+    /// cancel landed in time and, if the loser did complete, feeds its
+    /// latency to the adapter (its response time is still a valid
+    /// sample of its stream).
+    fn drain_loser(
+        self: Arc<Self>,
+        loser: crate::transport::InFlight,
+        dispatched: Instant,
+        kind: LoserKind,
+    ) {
+        let rt = self.rt.clone();
+        rt.spawn(async move {
+            match loser.await {
+                Err(TransportError::Cancelled) => {
+                    self.counters
+                        .cancelled_in_time
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {
+                    let ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                    self.observe(match kind {
+                        LoserKind::Primary => Observation::Primary(ms),
+                        LoserKind::Reissue => Observation::Reissue(ms),
+                    });
+                }
+                Err(_) => {}
+            }
+        });
+    }
+}

@@ -1,0 +1,72 @@
+//! Speculative-execution runtime: hedged (reissued) requests against
+//! real TCP kvstore replicas, driven by the paper's SingleR policies.
+//!
+//! The sibling crates *choose* reissue policies; this crate *executes*
+//! them. It turns the reproduction from a calculator into a serving
+//! system:
+//!
+//! * [`rt`] — a minimal multi-threaded async executor with timers and
+//!   a [`rt::race`] combinator (the environment cannot fetch tokio, so
+//!   the runtime is ~300 lines of `std`).
+//! * [`sync`] — oneshot channels and the [`sync::CancelToken`]
+//!   propagated from a hedged query to the backend.
+//! * [`server`] — [`server::TcpServer`]: `kvstore::MiniServer`'s
+//!   round-robin loop behind real sockets, with wall-clock service
+//!   times and tied-request retraction (`CANCEL <seq>`).
+//! * [`transport`] — [`transport::ReplicaSet`]: pooled async RESP
+//!   connections per replica.
+//! * [`client`] — [`client::HedgedClient`]: dispatch the primary, arm
+//!   the SingleR `(d, q)` timer, race, cancel the loser, and feed
+//!   observed latencies to `reissue_core::online::OnlineAdapter` so
+//!   the policy re-optimizes while serving.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use hedge::{HedgeConfig, HedgedClient, TcpServer, TcpServerConfig};
+//! use kvstore::Command;
+//! use kvstore::KvStore;
+//! use reissue_core::online::OnlineConfig;
+//! use reissue_core::policy::ReissuePolicy;
+//!
+//! // Three replicas of the same dataset, on real sockets.
+//! let store = KvStore::new();
+//! let replicas = hedge::spawn_replicas(
+//!     3,
+//!     &store,
+//!     TcpServerConfig { nanos_per_op: 200 },
+//! ).unwrap();
+//! let addrs: Vec<_> = replicas.iter().map(|r| r.local_addr()).collect();
+//!
+//! // A client that starts unhedged and lets the online adapter find
+//! // (d, q) for a 5% reissue budget targeting P99.
+//! let client = HedgedClient::connect(&addrs, HedgeConfig {
+//!     policy: ReissuePolicy::None,
+//!     online: Some(OnlineConfig {
+//!         k: 0.99,
+//!         budget: 0.05,
+//!         window: 2_000,
+//!         reoptimize_every: 500,
+//!         learning_rate: 0.5,
+//!     }),
+//!     ..HedgeConfig::default()
+//! }).unwrap();
+//!
+//! let reply = client.execute_blocking(Command::Ping).unwrap();
+//! println!("{reply:?}, policy now {}", client.policy());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod rt;
+pub mod server;
+pub mod sync;
+pub mod transport;
+
+pub use client::{HedgeConfig, HedgeStats, HedgedClient};
+pub use rt::{race, Either, JoinHandle, Runtime, Sleep};
+pub use server::{spawn_replicas, TcpServer, TcpServerConfig};
+pub use sync::CancelToken;
+pub use transport::{InFlight, Replica, ReplicaSet, TransportError};

@@ -1,0 +1,538 @@
+//! A minimal multi-threaded async runtime.
+//!
+//! The serving environment for this repository cannot fetch external
+//! crates, so instead of tokio the hedge runtime runs on this small,
+//! `std`-only executor: a fixed pool of worker threads polling a shared
+//! run queue, plus one timer thread driving [`Sleep`] futures off a
+//! deadline heap. Wakers are `Arc<Task>` handles via [`std::task::Wake`]
+//! — no unsafe anywhere.
+//!
+//! The surface is intentionally tiny — [`Runtime::spawn`],
+//! [`Runtime::block_on`], [`Runtime::sleep`], and the [`race`]
+//! combinator — because that is exactly what speculative execution
+//! needs: run concurrent attempts, arm a timer, take the first result.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+use crate::sync::{oneshot, RecvFuture};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+// Task scheduling states. The state machine exists to close the
+// classic lost-wakeup race: a wake that lands *while a worker is
+// polling* must not enqueue the task (another worker would find the
+// future slot empty and drop the notification) — it marks NOTIFIED,
+// and the polling worker re-enqueues after restoring the future.
+const TASK_IDLE: u8 = 0;
+const TASK_SCHEDULED: u8 = 1;
+const TASK_RUNNING: u8 = 2;
+const TASK_NOTIFIED: u8 = 3;
+
+/// One spawned task: its future plus a re-schedule handle.
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    rt: Weak<RtInner>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if let Some(rt) = self.rt.upgrade() {
+            rt.schedule(self);
+        }
+    }
+}
+
+/// A timer registration: min-heap by deadline.
+struct TimerEntry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.deadline.cmp(&self.deadline) // reversed: BinaryHeap is a max-heap
+    }
+}
+
+struct RtInner {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    queue_cv: Condvar,
+    timers: Mutex<BinaryHeap<TimerEntry>>,
+    timers_cv: Condvar,
+    shutdown: AtomicBool,
+    live_tasks: AtomicU64,
+}
+
+impl RtInner {
+    fn schedule(&self, task: Arc<Task>) {
+        loop {
+            match task.state.load(Ordering::SeqCst) {
+                TASK_IDLE => {
+                    if task
+                        .state
+                        .compare_exchange(
+                            TASK_IDLE,
+                            TASK_SCHEDULED,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        self.push(task);
+                        return;
+                    }
+                }
+                TASK_RUNNING => {
+                    // Mid-poll: mark so the polling worker re-enqueues
+                    // after it restores the future (see worker_loop).
+                    if task
+                        .state
+                        .compare_exchange(
+                            TASK_RUNNING,
+                            TASK_NOTIFIED,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued or already marked for re-poll.
+                _ => return,
+            }
+        }
+    }
+
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.queue_cv.notify_one();
+    }
+}
+
+/// The executor handle. Cheap to clone; dropping the last handle shuts
+/// the worker and timer threads down.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+    // Owns worker/timer threads: shutdown + join when the last clone drops.
+    _threads: Arc<ThreadSet>,
+}
+
+struct ThreadSet {
+    inner: Arc<RtInner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for ThreadSet {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        self.inner.timers_cv.notify_all();
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Runtime {
+    /// Starts a runtime with `workers` poller threads (min 1) and one
+    /// timer thread.
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(RtInner {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            timers: Mutex::new(BinaryHeap::new()),
+            timers_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live_tasks: AtomicU64::new(0),
+        });
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let rt = inner.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hedge-worker-{i}"))
+                    .spawn(move || worker_loop(&rt))
+                    .expect("spawn worker thread"),
+            );
+        }
+        let rt = inner.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("hedge-timer".into())
+                .spawn(move || timer_loop(&rt))
+                .expect("spawn timer thread"),
+        );
+        Runtime {
+            _threads: Arc::new(ThreadSet {
+                inner: inner.clone(),
+                handles: Mutex::new(handles),
+            }),
+            inner,
+        }
+    }
+
+    /// Spawns a future onto the pool, returning a handle resolving to
+    /// its output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let (tx, rx) = oneshot();
+        let inner = self.inner.clone();
+        inner.live_tasks.fetch_add(1, Ordering::Relaxed);
+        let counted = CountGuardFuture {
+            rt: inner.clone(),
+            inner: Box::pin(async move {
+                let _ = tx.send(future.await);
+            }),
+        };
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(counted))),
+            state: AtomicU8::new(TASK_SCHEDULED),
+            rt: Arc::downgrade(&self.inner),
+        });
+        self.inner.push(task);
+        JoinHandle { rx: rx.recv() }
+    }
+
+    /// A future that resolves `duration` from now.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        Sleep {
+            deadline: Instant::now() + duration,
+            rt: self.inner.clone(),
+        }
+    }
+
+    /// Drives `future` to completion on the calling thread (worker
+    /// threads keep running other tasks meanwhile).
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        struct ThreadWaker(std::thread::Thread);
+        impl Wake for ThreadWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.unpark();
+            }
+        }
+        let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        // Safe pinning: shadow the future on the stack.
+        let mut future = std::pin::pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> u64 {
+        self.inner.live_tasks.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements the live-task counter when the task future completes or
+/// is dropped mid-flight.
+struct CountGuardFuture {
+    rt: Arc<RtInner>,
+    inner: BoxFuture,
+}
+
+impl Drop for CountGuardFuture {
+    fn drop(&mut self) {
+        self.rt.live_tasks.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Future for CountGuardFuture {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        self.inner.as_mut().poll(cx)
+    }
+}
+
+fn worker_loop(rt: &RtInner) {
+    loop {
+        let task = {
+            let mut q = rt.queue.lock().unwrap();
+            loop {
+                if rt.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = rt.queue_cv.wait(q).unwrap();
+            }
+        };
+        task.state.store(TASK_RUNNING, Ordering::SeqCst);
+        let Some(mut future) = task.future.lock().unwrap().take() else {
+            // Late wake on a completed task.
+            task.state.store(TASK_IDLE, Ordering::SeqCst);
+            continue;
+        };
+        let waker = Waker::from(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        // A panicking task must not take down the worker; the panic
+        // surfaces at its JoinHandle as a Canceled error instead.
+        let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            future.as_mut().poll(&mut cx)
+        }));
+        match poll {
+            Ok(Poll::Pending) => {
+                // Restore the future BEFORE leaving RUNNING, so a
+                // concurrent wake that re-enqueues finds it present.
+                *task.future.lock().unwrap() = Some(future);
+                if task
+                    .state
+                    .compare_exchange(TASK_RUNNING, TASK_IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    // A wake landed mid-poll (state is NOTIFIED): the
+                    // notification would otherwise be lost, so this
+                    // worker re-enqueues the task itself.
+                    task.state.store(TASK_SCHEDULED, Ordering::SeqCst);
+                    rt.push(task);
+                }
+            }
+            Ok(Poll::Ready(())) | Err(_) => {
+                // Done (or future dropped by panic; JoinHandle sees
+                // Canceled). Late wakes hit the empty-slot path above.
+                task.state.store(TASK_IDLE, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn timer_loop(rt: &RtInner) {
+    let mut due: Vec<Waker> = Vec::new();
+    loop {
+        {
+            let mut timers = rt.timers.lock().unwrap();
+            loop {
+                if rt.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let now = Instant::now();
+                while timers.peek().is_some_and(|entry| entry.deadline <= now) {
+                    due.push(timers.pop().unwrap().waker);
+                }
+                if !due.is_empty() {
+                    break;
+                }
+                timers = match timers.peek().map(|entry| entry.deadline) {
+                    Some(deadline) => {
+                        let wait = deadline.saturating_duration_since(now);
+                        rt.timers_cv.wait_timeout(timers, wait).unwrap().0
+                    }
+                    None => rt.timers_cv.wait(timers).unwrap(),
+                };
+            }
+        }
+        for waker in due.drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+/// Future returned by [`Runtime::sleep`]. `Unpin`; safe to poll in
+/// racing combinators.
+pub struct Sleep {
+    deadline: Instant,
+    rt: Arc<RtInner>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        self.rt.timers.lock().unwrap().push(TimerEntry {
+            deadline: self.deadline,
+            waker: cx.waker().clone(),
+        });
+        self.rt.timers_cv.notify_one();
+        Poll::Pending
+    }
+}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+///
+/// # Panics
+/// Awaiting panics if the task itself panicked.
+pub struct JoinHandle<T> {
+    rx: RecvFuture<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("joined task panicked"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// First-completed-wins result of [`race`]; the loser future is handed
+/// back so the caller can keep driving (or drop) it.
+pub enum Either<A, B> {
+    /// The first future finished first.
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Future racing two `Unpin` futures; see [`race`].
+pub struct Race<FA, FB> {
+    a: Option<FA>,
+    b: Option<FB>,
+}
+
+/// Races two futures; resolves with the winner's output and the
+/// still-pending loser. Polls the first future first on ties, so a
+/// completed response beats a simultaneously-expired timer.
+pub fn race<FA, FB>(a: FA, b: FB) -> Race<FA, FB>
+where
+    FA: Future + Unpin,
+    FB: Future + Unpin,
+{
+    Race {
+        a: Some(a),
+        b: Some(b),
+    }
+}
+
+impl<FA, FB> Future for Race<FA, FB>
+where
+    FA: Future + Unpin,
+    FB: Future + Unpin,
+{
+    type Output = Either<(FA::Output, FB), (FA, FB::Output)>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        let mut a = this.a.take().expect("Race polled after completion");
+        let mut b = this.b.take().expect("Race polled after completion");
+        if let Poll::Ready(va) = Pin::new(&mut a).poll(cx) {
+            return Poll::Ready(Either::Left((va, b)));
+        }
+        if let Poll::Ready(vb) = Pin::new(&mut b).poll(cx) {
+            return Poll::Ready(Either::Right((a, vb)));
+        }
+        this.a = Some(a);
+        this.b = Some(b);
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_plain_value() {
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Runtime::new(2);
+        let h = rt.spawn(async { 7u64 * 6 });
+        assert_eq!(rt.block_on(h), 42);
+    }
+
+    #[test]
+    fn many_tasks_all_complete() {
+        let rt = Runtime::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let c = counter.clone();
+                rt.spawn(async move {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            rt.block_on(h);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        assert_eq!(rt.live_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_waits_roughly_right() {
+        let rt = Runtime::new(1);
+        let t0 = Instant::now();
+        rt.block_on(rt.sleep(Duration::from_millis(30)));
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(28), "slept {dt:?}");
+        assert!(dt < Duration::from_secs(2), "slept {dt:?}");
+    }
+
+    #[test]
+    fn race_timer_vs_task() {
+        let rt = Runtime::new(2);
+        // Fast task beats slow timer.
+        let fast = rt.spawn(async { "fast" });
+        let won = rt.block_on(race(fast, rt.sleep(Duration::from_secs(5))));
+        match won {
+            Either::Left((v, _timer)) => assert_eq!(v, "fast"),
+            Either::Right(_) => panic!("timer should lose"),
+        }
+        // Timer beats slow task.
+        let rt2 = rt.clone();
+        let slow = rt.spawn(async move {
+            rt2.sleep(Duration::from_secs(5)).await;
+            "slow"
+        });
+        match rt.block_on(race(slow, rt.sleep(Duration::from_millis(10)))) {
+            Either::Left(_) => panic!("slow task should lose"),
+            Either::Right((_loser, ())) => {}
+        }
+    }
+
+    #[test]
+    fn nested_spawns_from_tasks() {
+        let rt = Runtime::new(2);
+        let rt2 = rt.clone();
+        let h = rt.spawn(async move {
+            let inner = rt2.spawn(async { 10 });
+            inner.await + 1
+        });
+        assert_eq!(rt.block_on(h), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "joined task panicked")]
+    fn panicking_task_propagates_at_join() {
+        let rt = Runtime::new(1);
+        let h = rt.spawn(async { panic!("boom") });
+        rt.block_on(h);
+    }
+}

@@ -1,0 +1,434 @@
+//! A TCP transport for the kvstore: real sockets in front of
+//! [`MiniServer`]'s round-robin loop.
+//!
+//! Each accepted socket becomes one `MiniServer` connection. A reader
+//! thread per socket decodes RESP frames and injects them into the
+//! server's in-process pipes; a single sweeper thread drives
+//! [`MiniServer::sweep`] — preserving the paper's §6.2 head-of-line
+//! blocking exactly, now with wall-clock service times (the sweeper
+//! burns `nanos_per_op` per unit of store cost, so a monster `SINTER`
+//! really does stall every other connection's next reply).
+//!
+//! ## Tied-request cancellation
+//!
+//! Requests on a connection carry an implicit sequence number (0, 1,
+//! 2, …, counted by both sides). A client that no longer needs request
+//! `n` — because its hedged twin already won — sends `CANCEL n` on the
+//! same connection. If frame `n` is still queued (not yet swept), the
+//! transport *retracts* it atomically via
+//! [`Connection::take_inbound`] and replies `-ERR cancelled` in its
+//! place, so the reply stream stays in order and the server never does
+//! the work. If the request already executed, the `CANCEL` is a no-op
+//! and the real reply stands.
+
+use kvstore::resp::{decode_command, encode_reply};
+use kvstore::server::{Connection, MiniServer, ServerStats};
+use kvstore::KvStore;
+use kvstore::{Command, Reply};
+
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Reply body sent for a retracted (tied-cancelled) request.
+pub const CANCELLED_MARKER: &str = "cancelled";
+
+/// Configuration for [`TcpServer`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpServerConfig {
+    /// Wall-clock nanoseconds of service time per unit of store cost.
+    /// `0` disables the burn (replies as fast as the store executes).
+    /// The kvstore's cost model counts elementary set operations, so
+    /// e.g. `1_000` makes a 100k-element intersection take ~100 ms —
+    /// a "query of death" — while a `GET` stays ~µs.
+    pub nanos_per_op: u64,
+}
+
+struct Pending {
+    next_seq: u64,
+    injected: Option<u64>,
+}
+
+struct ConnState {
+    pipe: Connection,
+    writer: Mutex<TcpStream>,
+    pending: Mutex<Pending>,
+    dead: AtomicBool,
+}
+
+struct Shared {
+    server: Mutex<MiniServer>,
+    sweep_cv: Condvar,
+    conns: Mutex<Vec<Arc<ConnState>>>,
+    stop: AtomicBool,
+    cfg: TcpServerConfig,
+}
+
+/// A kvstore replica listening on a real TCP socket.
+///
+/// Shuts down (and joins all threads) on [`TcpServer::shutdown`] or
+/// drop.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `store`.
+    pub fn bind(addr: &str, store: KvStore, cfg: TcpServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server: Mutex::new(MiniServer::new(store)),
+            sweep_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        let accept_shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("kv-accept-{local_addr}"))
+                .spawn(move || accept_loop(&listener, &accept_shared))
+                .expect("spawn accept thread"),
+        );
+        let sweep_shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("kv-sweep-{local_addr}"))
+                .spawn(move || sweep_loop(&sweep_shared))
+                .expect("spawn sweeper thread"),
+        );
+
+        Ok(TcpServer {
+            local_addr,
+            shared,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The bound address (resolve ephemeral ports here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Server-side execution statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.server.lock().unwrap().stats()
+    }
+
+    /// Direct store access (dataset loading before serving).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
+        f(self.shared.server.lock().unwrap().store_mut())
+    }
+
+    /// Stops all threads and closes the listener.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.sweep_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        for t in self.threads.lock().unwrap().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+        let Ok(writer) = stream.try_clone() else {
+            continue;
+        };
+        let pipe = shared.server.lock().unwrap().accept();
+        let state = Arc::new(ConnState {
+            pipe,
+            writer: Mutex::new(writer),
+            pending: Mutex::new(Pending {
+                next_seq: 0,
+                injected: None,
+            }),
+            dead: AtomicBool::new(false),
+        });
+        shared.conns.lock().unwrap().push(state.clone());
+        let reader_shared = shared.clone();
+        // Reader threads exit on socket close or server stop; the
+        // sweeper joins them implicitly by process teardown order.
+        let _ = std::thread::Builder::new()
+            .name("kv-conn-reader".into())
+            .spawn(move || reader_loop(stream, &state, &reader_shared));
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, state: &Arc<ConnState>, shared: &Arc<Shared>) {
+    let mut buf = BytesMut::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while !shared.stop.load(Ordering::SeqCst) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        loop {
+            match decode_command(&mut buf) {
+                Ok(Some(Command::Cancel(seq))) => handle_cancel(state, seq),
+                Ok(Some(cmd)) => {
+                    let mut pending = state.pending.lock().unwrap();
+                    let seq = pending.next_seq;
+                    pending.next_seq += 1;
+                    state.pipe.send(&cmd);
+                    pending.injected = Some(seq);
+                    drop(pending);
+                    shared.sweep_cv.notify_all();
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Mirror MiniServer: error reply, drop the rest.
+                    buf.clear();
+                    let mut out = BytesMut::new();
+                    encode_reply(&Reply::Error(err.to_string()), &mut out);
+                    state.pipe.push_outbound(&out);
+                    shared.sweep_cv.notify_all();
+                }
+            }
+        }
+    }
+    state.dead.store(true, Ordering::SeqCst);
+}
+
+/// Attempts to retract queued request `seq` (tied-request cancel).
+fn handle_cancel(state: &Arc<ConnState>, seq: u64) {
+    let pending = state.pending.lock().unwrap();
+    // Only the most recently injected request is retractable, and only
+    // if its frame is still sitting in the pipe. `take_inbound` is
+    // atomic with the sweep's decode, so the frame either comes back
+    // whole (never executed) or is already being executed (CANCEL
+    // no-op; the real reply stands).
+    if pending.injected == Some(seq) {
+        let taken = state.pipe.take_inbound();
+        if !taken.is_empty() {
+            let mut out = BytesMut::new();
+            encode_reply(&Reply::Error(CANCELLED_MARKER.into()), &mut out);
+            state.pipe.push_outbound(&out);
+            drop(pending);
+            // Deliver the confirmation now — the sweeper may be busy
+            // burning service time for another connection's query for
+            // a long while, and the whole point of cancelling is not
+            // to wait for that.
+            flush_conn(state);
+        }
+    }
+}
+
+/// Atomically drains and writes one connection's outbound bytes. The
+/// writer lock is taken *before* draining so concurrent flushes (the
+/// sweeper's and a cancel confirmation) cannot reorder reply bytes.
+fn flush_conn(conn: &ConnState) {
+    if conn.dead.load(Ordering::SeqCst) {
+        return;
+    }
+    let mut writer = conn.writer.lock().unwrap();
+    let bytes = conn.pipe.receive_bytes();
+    if !bytes.is_empty() && writer.write_all(&bytes).is_err() {
+        conn.dead.store(true, Ordering::SeqCst);
+    }
+}
+
+fn sweep_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // One round-robin cycle, one connection at a time. Each
+        // executed command's service time (cost × nanos_per_op) is
+        // burned — and its reply flushed — *individually, in cycle
+        // order*: a monster command stalls every connection later in
+        // the cycle (real head-of-line blocking), but replies already
+        // produced earlier in the cycle are released immediately
+        // rather than being held behind the monster's burn.
+        let conns: Vec<Arc<ConnState>> = shared.conns.lock().unwrap().clone();
+        let mut executed = 0usize;
+        for (idx, conn) in conns.iter().enumerate() {
+            let cost = shared.server.lock().unwrap().sweep_conn(idx);
+            if let Some(cost) = cost {
+                executed += 1;
+                if cost > 0 && shared.cfg.nanos_per_op > 0 {
+                    burn(Duration::from_nanos(cost * shared.cfg.nanos_per_op));
+                }
+                flush_conn(conn);
+            }
+        }
+        // Catch stragglers (e.g. protocol-error replies written by the
+        // readers) that the per-command flush above did not cover.
+        flush_replies(shared);
+        if executed == 0 {
+            let server = shared.server.lock().unwrap();
+            // Timeout bounds the lost-wakeup window (reader notifies
+            // without holding the server lock).
+            let _ = shared
+                .sweep_cv
+                .wait_timeout(server, Duration::from_micros(100))
+                .unwrap();
+        }
+    }
+}
+
+/// Forwards every connection's pending outbound bytes to its socket.
+fn flush_replies(shared: &Arc<Shared>) {
+    let conns = shared.conns.lock().unwrap();
+    for conn in conns.iter() {
+        flush_conn(conn);
+    }
+}
+
+/// Spins (short waits) or sleeps (long waits) for `d`.
+fn burn(d: Duration) {
+    if d >= Duration::from_micros(200) {
+        std::thread::sleep(d);
+    } else {
+        let t0 = Instant::now();
+        while t0.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Convenience: spins up `n` replica servers over the same dataset
+/// snapshot, each on an ephemeral local port.
+pub fn spawn_replicas(
+    n: usize,
+    store: &KvStore,
+    cfg: TcpServerConfig,
+) -> std::io::Result<Vec<TcpServer>> {
+    (0..n)
+        .map(|_| TcpServer::bind("127.0.0.1:0", store.clone(), cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::resp::{decode_reply, encode_command};
+    use kvstore::Command;
+
+    fn send_cmd(stream: &mut TcpStream, cmd: &Command) {
+        let mut out = BytesMut::new();
+        encode_command(cmd, &mut out);
+        stream.write_all(&out).unwrap();
+    }
+
+    fn read_reply(stream: &mut TcpStream) -> Reply {
+        let mut buf = BytesMut::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(r) = decode_reply(&mut buf).unwrap() {
+                return r;
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed mid-reply");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_basics() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut c, &Command::Ping);
+        assert_eq!(read_reply(&mut c), Reply::Pong);
+        send_cmd(&mut c, &Command::Set("k".into(), "v".into()));
+        assert_eq!(read_reply(&mut c), Reply::Ok);
+        send_cmd(&mut c, &Command::Get("k".into()));
+        assert_eq!(read_reply(&mut c), Reply::Str("v".into()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_connections_round_robin() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let mut a = TcpStream::connect(server.local_addr()).unwrap();
+        let mut b = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut a, &Command::Ping);
+        send_cmd(&mut b, &Command::Ping);
+        assert_eq!(read_reply(&mut a), Reply::Pong);
+        assert_eq!(read_reply(&mut b), Reply::Pong);
+        assert!(server.stats().commands >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_retracts_queued_request() {
+        // Load a slow key so the sweeper is busy while we cancel.
+        let mut store = KvStore::new();
+        store.load_set(
+            "big1",
+            kvstore::IntSet::from_unsorted((0..200_000).collect()),
+        );
+        store.load_set(
+            "big2",
+            kvstore::IntSet::from_unsorted((100_000..300_000).collect()),
+        );
+        let server =
+            TcpServer::bind("127.0.0.1:0", store, TcpServerConfig { nanos_per_op: 500 }).unwrap();
+        // Connection A: a monster query occupies the sweeper.
+        let mut a = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut a, &Command::SInterCard("big1".into(), "big2".into()));
+        std::thread::sleep(Duration::from_millis(20)); // let it start
+                                                       // Connection B: queue a request, then cancel before it sweeps.
+        let mut b = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut b, &Command::SInterCard("big1".into(), "big2".into()));
+        send_cmd(&mut b, &Command::Cancel(0));
+        assert_eq!(
+            read_reply(&mut b),
+            Reply::Error(CANCELLED_MARKER.into()),
+            "queued request should be retracted"
+        );
+        // Connection A's monster still completes with the right answer.
+        assert_eq!(read_reply(&mut a), Reply::Int(100_000));
+        // The cancelled command must never have executed: exactly one
+        // SINTERCARD ran.
+        assert_eq!(server.stats().commands, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_after_execution_is_noop() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut c, &Command::Ping);
+        assert_eq!(read_reply(&mut c), Reply::Pong);
+        send_cmd(&mut c, &Command::Cancel(0)); // too late; ignored
+        send_cmd(&mut c, &Command::Ping);
+        assert_eq!(read_reply(&mut c), Reply::Pong);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,326 @@
+//! Synchronization primitives for the hedge runtime: a oneshot channel
+//! (task completion, in-flight replies) and [`CancelToken`], the
+//! cancellation primitive propagated from a hedged query to the
+//! transport and on to the backend (tied requests).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when a oneshot sender is dropped without sending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("oneshot sender dropped without a value")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+enum OneState<T> {
+    Empty(Option<Waker>),
+    Value(T),
+    Closed,
+    Taken,
+}
+
+struct OneInner<T> {
+    state: Mutex<OneState<T>>,
+    cv: Condvar,
+}
+
+/// Sending half of a oneshot channel.
+pub struct Sender<T> {
+    inner: Arc<OneInner<T>>,
+}
+
+/// Receiving half of a oneshot channel.
+pub struct Receiver<T> {
+    inner: Arc<OneInner<T>>,
+    // False once converted into a RecvFuture: Drop must then leave the
+    // channel open for the future to consume.
+    armed: bool,
+}
+
+/// Creates a oneshot channel.
+pub fn oneshot<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(OneInner {
+        state: Mutex::new(OneState::Empty(None)),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner, armed: true },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers the value; returns it back if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut state = self.inner.state.lock().unwrap();
+        match &mut *state {
+            OneState::Empty(waker) => {
+                let waker = waker.take();
+                *state = OneState::Value(value);
+                drop(state);
+                self.inner.cv.notify_all();
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                Ok(())
+            }
+            OneState::Value(_) | OneState::Closed | OneState::Taken => Err(value),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        if let OneState::Empty(waker) = &mut *state {
+            let waker = waker.take();
+            *state = OneState::Closed;
+            drop(state);
+            self.inner.cv.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the value asynchronously.
+    pub fn recv(mut self) -> RecvFuture<T> {
+        self.armed = false;
+        RecvFuture {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Blocks the calling thread until the value (or closure) arrives.
+    pub fn recv_blocking(self) -> Result<T, Canceled> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *state, OneState::Taken) {
+                OneState::Value(v) => return Ok(v),
+                OneState::Closed => return Err(Canceled),
+                s @ OneState::Empty(_) => {
+                    *state = s;
+                    state = self.inner.cv.wait(state).unwrap();
+                }
+                OneState::Taken => return Err(Canceled),
+            }
+        }
+    }
+
+    /// Returns the value if it has already arrived.
+    pub fn try_recv(&self) -> Option<Result<T, Canceled>> {
+        let mut state = self.inner.state.lock().unwrap();
+        match std::mem::replace(&mut *state, OneState::Taken) {
+            OneState::Value(v) => Some(Ok(v)),
+            OneState::Closed => Some(Err(Canceled)),
+            s @ OneState::Empty(_) => {
+                *state = s;
+                None
+            }
+            OneState::Taken => Some(Err(Canceled)),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Mark taken so a late send learns the value is undeliverable.
+        let mut state = self.inner.state.lock().unwrap();
+        if matches!(*state, OneState::Empty(_)) {
+            *state = OneState::Taken;
+        }
+    }
+}
+
+/// Future returned by [`Receiver::recv`]. `Unpin`.
+pub struct RecvFuture<T> {
+    inner: Arc<OneInner<T>>,
+}
+
+impl<T> Future for RecvFuture<T> {
+    type Output = Result<T, Canceled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.inner.state.lock().unwrap();
+        match std::mem::replace(&mut *state, OneState::Taken) {
+            OneState::Value(v) => Poll::Ready(Ok(v)),
+            OneState::Closed => Poll::Ready(Err(Canceled)),
+            OneState::Empty(_) => {
+                *state = OneState::Empty(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+            OneState::Taken => Poll::Ready(Err(Canceled)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct CtState {
+    cancelled: bool,
+    wakers: Vec<Waker>,
+    callbacks: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+/// A clonable cancellation token.
+///
+/// A hedged query hands one token to each speculative arm; when a
+/// winner emerges, cancelling the loser's token (a) wakes any task
+/// awaiting [`CancelToken::cancelled`], and (b) fires callbacks the
+/// transport registered — which is how the `CANCEL` frame reaches the
+/// backend server (tied requests, Dean & Barroso §"Tied requests").
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Mutex<CtState>>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Cancels: wakes waiters and runs registered callbacks (once).
+    pub fn cancel(&self) {
+        let (wakers, callbacks) = {
+            let mut st = self.inner.lock().unwrap();
+            if st.cancelled {
+                return;
+            }
+            st.cancelled = true;
+            (
+                std::mem::take(&mut st.wakers),
+                std::mem::take(&mut st.callbacks),
+            )
+        };
+        for w in wakers {
+            w.wake();
+        }
+        for cb in callbacks {
+            cb();
+        }
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.lock().unwrap().cancelled
+    }
+
+    /// Registers `callback` to run on cancellation; runs it immediately
+    /// if the token is already cancelled.
+    pub fn on_cancel(&self, callback: impl FnOnce() + Send + 'static) {
+        let run_now = {
+            let mut st = self.inner.lock().unwrap();
+            if st.cancelled {
+                true
+            } else {
+                st.callbacks.push(Box::new(callback));
+                return;
+            }
+        };
+        if run_now {
+            callback();
+        }
+    }
+
+    /// A future that resolves when the token is cancelled.
+    pub fn cancelled(&self) -> Cancelled {
+        Cancelled {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// Future returned by [`CancelToken::cancelled`]. `Unpin`.
+pub struct Cancelled {
+    inner: Arc<Mutex<CtState>>,
+}
+
+impl Future for Cancelled {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.inner.lock().unwrap();
+        if st.cancelled {
+            Poll::Ready(())
+        } else {
+            st.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneshot_send_then_recv() {
+        let (tx, rx) = oneshot();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_blocking(), Ok(5));
+    }
+
+    #[test]
+    fn oneshot_drop_sender_closes() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv_blocking(), Err(Canceled));
+    }
+
+    #[test]
+    fn oneshot_drop_receiver_bounces_value() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn oneshot_cross_thread() {
+        let (tx, rx) = oneshot();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send("hello").unwrap();
+        });
+        assert_eq!(rx.recv_blocking(), Ok("hello"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_token_flags_and_callbacks() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let fired = Arc::new(Mutex::new(0));
+        let f2 = fired.clone();
+        token.on_cancel(move || *f2.lock().unwrap() += 1);
+        token.cancel();
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+        assert_eq!(*fired.lock().unwrap(), 1);
+        // Late registration runs immediately.
+        let f3 = fired.clone();
+        token.on_cancel(move || *f3.lock().unwrap() += 10);
+        assert_eq!(*fired.lock().unwrap(), 11);
+    }
+}

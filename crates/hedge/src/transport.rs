@@ -1,0 +1,394 @@
+//! Async RESP client transport: per-replica connection pools, one
+//! in-flight request per connection, cancellation propagated on the
+//! wire.
+//!
+//! Each pooled connection owns a dedicated I/O thread (blocking
+//! sockets; the async layer above parks on oneshot futures). Requests
+//! are sequence-numbered per connection; cancelling an in-flight
+//! request writes `CANCEL <seq>` on the same connection, which the
+//! server answers with the `-ERR cancelled` marker if it managed to
+//! retract the frame (see [`crate::server`]). Either way every request
+//! gets exactly one reply, so the connection re-synchronizes by
+//! construction.
+
+use crate::sync::{oneshot, CancelToken, RecvFuture, Sender};
+use bytes::BytesMut;
+use kvstore::resp::{decode_reply, encode_command};
+use kvstore::{Command, Reply};
+
+use std::future::Future;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use crate::server::CANCELLED_MARKER;
+
+/// Transport-level failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The request was cancelled (tied-request retraction) before it
+    /// executed.
+    Cancelled,
+    /// The connection died before a reply arrived.
+    ConnectionClosed,
+    /// Socket-level failure.
+    Io(String),
+    /// The peer broke the RESP protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Cancelled => f.write_str("request cancelled"),
+            TransportError::ConnectionClosed => f.write_str("connection closed"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// RAII share of a connection's in-flight count. Owned by the [`Job`]
+/// so the decrement happens exactly once wherever the job ends up —
+/// completed by the I/O thread, dropped in the queue when the
+/// connection dies, or bounced by a failed send.
+struct InflightTicket(Arc<AtomicU64>);
+
+impl InflightTicket {
+    fn new(counter: &Arc<AtomicU64>) -> Self {
+        counter.fetch_add(1, Ordering::Relaxed);
+        InflightTicket(counter.clone())
+    }
+}
+
+impl Drop for InflightTicket {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+struct Job {
+    cmd: Command,
+    token: CancelToken,
+    reply: Sender<Result<Reply, TransportError>>,
+    _ticket: InflightTicket,
+}
+
+/// One pooled connection: a job queue feeding a dedicated I/O thread.
+struct Conn {
+    // None only during drop (closing the channel ends the I/O loop).
+    jobs: Option<mpsc::Sender<Job>>,
+    inflight: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// An async client for one kvstore replica, holding `pool` TCP
+/// connections. Requests round-robin across idle-most connections;
+/// each connection serves its queue in FIFO order with exactly one
+/// request on the wire at a time.
+pub struct Replica {
+    addr: SocketAddr,
+    conns: Vec<Conn>,
+    next: AtomicUsize,
+}
+
+impl Replica {
+    /// Connects `pool` sockets to `addr`.
+    pub fn connect(addr: SocketAddr, pool: usize) -> std::io::Result<Replica> {
+        let conns = (0..pool.max(1))
+            .map(|i| {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+                let writer = stream.try_clone()?;
+                let (tx, rx) = mpsc::channel::<Job>();
+                let inflight = Arc::new(AtomicU64::new(0));
+                let handle = std::thread::Builder::new()
+                    .name(format!("hedge-conn-{addr}-{i}"))
+                    .spawn(move || conn_loop(stream, writer, &rx))
+                    .expect("spawn connection I/O thread");
+                Ok(Conn {
+                    jobs: Some(tx),
+                    inflight,
+                    handle: Some(handle),
+                })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Replica {
+            addr,
+            conns,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// The replica's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests currently queued or on the wire across this replica's
+    /// pool — the hedging layer's load signal.
+    pub fn inflight(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.inflight.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Dispatches `cmd`, returning the in-flight reply future.
+    /// Cancelling `token` retracts the request if it has not executed
+    /// yet (the future then resolves to
+    /// [`TransportError::Cancelled`]).
+    pub fn request(&self, cmd: Command, token: CancelToken) -> InFlight {
+        // CANCEL frames are transport-internal (emitted by the cancel
+        // path with the right sequence number); a hand-sent one would
+        // desynchronize the reply stream, so refuse it here.
+        if matches!(cmd, Command::Cancel(_)) {
+            let (tx, rx) = oneshot();
+            let _ = tx.send(Err(TransportError::Protocol(
+                "CANCEL is sent via CancelToken, not as a request".into(),
+            )));
+            return InFlight { rx: rx.recv() };
+        }
+        // Prefer the least-loaded connection; break ties round-robin.
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % self.conns.len();
+        let pick = (0..self.conns.len())
+            .map(|off| (start + off) % self.conns.len())
+            .min_by_key(|&i| self.conns[i].inflight.load(Ordering::Relaxed))
+            .unwrap_or(start);
+        let conn = &self.conns[pick];
+        let (tx, rx) = oneshot();
+        let job = Job {
+            cmd,
+            token,
+            reply: tx,
+            _ticket: InflightTicket::new(&conn.inflight),
+        };
+        if let Some(jobs) = &conn.jobs {
+            // On send failure the bounced job drops here, releasing
+            // its ticket; the dropped reply Sender resolves the future
+            // to Canceled, mapped to ConnectionClosed below.
+            let _ = jobs.send(job);
+        }
+        InFlight { rx: rx.recv() }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        for conn in &mut self.conns {
+            // Closing the channel ends the I/O thread's job loop once
+            // the in-flight job (if any) finishes.
+            conn.jobs = None;
+            if let Some(h) = conn.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Future for a dispatched request. `Unpin`, so it can be raced.
+pub struct InFlight {
+    rx: RecvFuture<Result<Reply, TransportError>>,
+}
+
+impl Future for InFlight {
+    type Output = Result<Reply, TransportError>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(r)) => Poll::Ready(r),
+            Poll::Ready(Err(_)) => Poll::Ready(Err(TransportError::ConnectionClosed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+fn conn_loop(mut stream: TcpStream, writer: TcpStream, jobs: &mpsc::Receiver<Job>) {
+    // The writer must be shareable with cancel callbacks, which run on
+    // other threads while this thread is blocked reading the reply.
+    let writer = Arc::new(Mutex::new(writer));
+    let mut buf = BytesMut::new();
+    let mut chunk = [0u8; 16 * 1024];
+    // Sequence numbers count commands actually sent on the wire — the
+    // server counts the same way, so they stay aligned. A job
+    // cancelled before dispatch must NOT consume a number.
+    let mut seq: u64 = 0;
+
+    'jobs: for job in jobs.iter() {
+        // Cancelled while queued: never touches the wire.
+        if job.token.is_cancelled() {
+            let _ = job.reply.send(Err(TransportError::Cancelled));
+            continue;
+        }
+        let my_seq = seq;
+        seq += 1;
+        let dispatched = std::time::Instant::now();
+        let mut frame = BytesMut::new();
+        encode_command(&job.cmd, &mut frame);
+        if let Err(e) = writer.lock().unwrap().write_all(&frame) {
+            let _ = job.reply.send(Err(TransportError::Io(e.to_string())));
+            return;
+        }
+        // From here the request is on the wire: exactly one reply will
+        // come back. A cancel now races ahead on the same socket.
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = done.clone();
+            let writer = writer.clone();
+            job.token.on_cancel(move || {
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut cancel_frame = BytesMut::new();
+                encode_command(&Command::Cancel(my_seq), &mut cancel_frame);
+                let _ = writer.lock().unwrap().write_all(&cancel_frame);
+            });
+        }
+        // Read exactly one reply (blocking with periodic timeouts).
+        let reply = loop {
+            match decode_reply(&mut buf) {
+                Ok(Some(r)) => break Ok(r),
+                Ok(None) => {}
+                Err(e) => break Err(TransportError::Protocol(e.to_string())),
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    done.store(true, Ordering::SeqCst);
+                    let _ = job.reply.send(Err(TransportError::ConnectionClosed));
+                    break 'jobs;
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => {
+                    done.store(true, Ordering::SeqCst);
+                    let _ = job.reply.send(Err(TransportError::Io(e.to_string())));
+                    break 'jobs;
+                }
+            }
+        };
+        done.store(true, Ordering::SeqCst);
+        let outcome = match reply {
+            Ok(Reply::Error(e)) if e == CANCELLED_MARKER => Err(TransportError::Cancelled),
+            other => other,
+        };
+        if std::env::var_os("HEDGE_DEBUG").is_some() {
+            let took = dispatched.elapsed().as_secs_f64() * 1e3;
+            if took > 10.0 {
+                eprintln!(
+                    "[conn {:?}] seq={my_seq} took {took:.2}ms cmd={:?} outcome={outcome:?}",
+                    std::thread::current().name(),
+                    job.cmd,
+                );
+            }
+        }
+        let _ = job.reply.send(outcome);
+    }
+}
+
+/// The set of replica backends a [`crate::HedgedClient`] hedges
+/// across.
+pub struct ReplicaSet {
+    replicas: Vec<Arc<Replica>>,
+    next: AtomicUsize,
+}
+
+impl ReplicaSet {
+    /// Connects to every address with `pool` connections each.
+    pub fn connect(addrs: &[SocketAddr], pool: usize) -> std::io::Result<ReplicaSet> {
+        assert!(!addrs.is_empty(), "need at least one replica");
+        let replicas = addrs
+            .iter()
+            .map(|&a| Replica::connect(a, pool).map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ReplicaSet {
+            replicas,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the set is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica at `idx`.
+    pub fn replica(&self, idx: usize) -> &Replica {
+        &self.replicas[idx]
+    }
+
+    /// Picks the next primary replica, round-robin.
+    pub fn pick_primary(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len()
+    }
+
+    /// Picks the reissue target: the least-loaded replica other than
+    /// the primary (falls back to the primary itself in a 1-replica
+    /// set). Load-aware targeting matters under queries of death: the
+    /// replica the monster's own reissue landed on is just as blocked
+    /// as its primary, and in-flight counts see that where static
+    /// `(p + 1) % n` cannot.
+    pub fn pick_reissue(&self, primary: usize) -> usize {
+        (0..self.replicas.len())
+            .filter(|&i| i != primary)
+            .min_by_key(|&i| self.replicas[i].inflight())
+            .unwrap_or(primary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::Runtime;
+    use crate::server::{TcpServer, TcpServerConfig};
+    use kvstore::KvStore;
+
+    #[test]
+    fn request_roundtrip_through_pool() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let replica = Replica::connect(server.local_addr(), 2).unwrap();
+        let rt = Runtime::new(2);
+        let reply = rt
+            .block_on(replica.request(Command::Ping, CancelToken::new()))
+            .unwrap();
+        assert_eq!(reply, Reply::Pong);
+        // Writes visible across pooled connections (same store).
+        rt.block_on(replica.request(Command::Set("a".into(), "1".into()), CancelToken::new()))
+            .unwrap();
+        for _ in 0..4 {
+            let r = rt
+                .block_on(replica.request(Command::Get("a".into()), CancelToken::new()))
+                .unwrap();
+            assert_eq!(r, Reply::Str("1".into()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pre_dispatch_cancel_never_hits_wire() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let replica = Replica::connect(server.local_addr(), 1).unwrap();
+        let rt = Runtime::new(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = rt.block_on(replica.request(Command::Ping, token));
+        assert_eq!(out, Err(TransportError::Cancelled));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(server.stats().commands, 0, "nothing should execute");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,286 @@
+//! Integration tests for the speculative-execution runtime: hedged
+//! wins with loser cancellation, reissue-budget adherence, and full
+//! command-set round-trips over real TCP sockets.
+
+use hedge::{HedgeConfig, HedgedClient, TcpServer, TcpServerConfig};
+use kvstore::resp::{decode_command, decode_reply, encode_command, encode_reply};
+use kvstore::{Command, IntSet, KvStore, Reply};
+use reissue_core::online::OnlineConfig;
+use reissue_core::policy::ReissuePolicy;
+
+use std::time::Duration;
+
+fn small_store() -> KvStore {
+    let mut store = KvStore::new();
+    store.load_set(
+        "evens",
+        IntSet::from_unsorted((0..100u32).map(|i| i * 2).collect()),
+    );
+    store.load_set(
+        "threes",
+        IntSet::from_unsorted((0..100u32).map(|i| i * 3).collect()),
+    );
+    let (reply, _) = store.execute(&Command::Set("greeting".into(), "hello".into()));
+    assert_eq!(reply, Reply::Ok);
+    store
+}
+
+fn monster_store() -> KvStore {
+    let mut store = small_store();
+    store.load_set("big1", IntSet::from_unsorted((0..400_000u32).collect()));
+    store.load_set(
+        "big2",
+        IntSet::from_unsorted((200_000..600_000u32).collect()),
+    );
+    store
+}
+
+/// (1) A hedged request returns the fast replica's answer while the
+/// slow replica's copy is cancelled before it ever executes.
+#[test]
+fn hedged_request_wins_on_fast_replica_and_cancels_slow() {
+    // Replica 0 will be head-of-line blocked by a monster query;
+    // replica 1 stays idle.
+    let cfg = TcpServerConfig {
+        nanos_per_op: 2_000,
+    };
+    let servers = [
+        TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),
+        TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),
+    ];
+    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+
+    let client = HedgedClient::connect(
+        &addrs,
+        HedgeConfig {
+            // Hedge aggressively after 5 ms, always.
+            policy: ReissuePolicy::single_d(5.0),
+            online: None,
+            ..HedgeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Head-of-line-block replica 0 with a monster intersection sent on
+    // a raw side connection (~400k cost units * 2µs ≈ 800 ms of
+    // service time).
+    use std::io::Write as _;
+    let mut side = std::net::TcpStream::connect(addrs[0]).unwrap();
+    let mut frame = bytes::BytesMut::new();
+    encode_command(
+        &Command::SInterCard("big1".into(), "big2".into()),
+        &mut frame,
+    );
+    side.write_all(&frame).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let it occupy replica 0
+
+    // The hedged query: its primary lands on the blocked replica 0, so
+    // only the 5 ms reissue to idle replica 1 can answer quickly — and
+    // the blocked copy must be retracted.
+    let t0 = std::time::Instant::now();
+    let reply = client
+        .execute_blocking(Command::SInterCard("evens".into(), "threes".into()))
+        .unwrap();
+    let elapsed = t0.elapsed();
+
+    // Correct answer from the fast replica: |{0, 2, ...198} ∩ {0, 3,
+    // ..., 297}| = multiples of 6 below 200 = 34.
+    assert_eq!(reply, Reply::Int(34), "intersection cardinality");
+    // Far faster than the blocked replica could answer.
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "hedged query took {elapsed:?}; cancellation/hedging failed"
+    );
+
+    let stats = client.stats();
+    assert!(stats.reissues >= 1, "the 5 ms hedge must have fired");
+    assert_eq!(
+        stats.reissue_wins, 1,
+        "the idle replica must win: {stats:?}"
+    );
+
+    // The loser's cancellation confirmation arrives asynchronously;
+    // poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while client.stats().cancelled_in_time == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = client.stats();
+    assert!(
+        stats.cancelled_in_time >= 1,
+        "the blocked replica's copy should be retracted: {stats:?}"
+    );
+    // And the blocked replica must never execute the retracted query:
+    // the only command it runs is the monster itself.
+    assert_eq!(
+        servers[0].stats().commands,
+        1,
+        "retracted work must not run"
+    );
+}
+
+/// (2) Observed reissue rate stays within the configured budget ±1%.
+#[test]
+fn reissue_rate_tracks_budget() {
+    let servers = [
+        TcpServer::bind("127.0.0.1:0", small_store(), TcpServerConfig::default()).unwrap(),
+        TcpServer::bind("127.0.0.1:0", small_store(), TcpServerConfig::default()).unwrap(),
+        TcpServer::bind("127.0.0.1:0", small_store(), TcpServerConfig::default()).unwrap(),
+    ];
+    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+
+    // Fixed SingleR with d = 0: every query flips the q-coin, so the
+    // reissue budget equals q exactly and the observed rate is a
+    // deterministic function of the seeded RNG.
+    let budget = 0.20;
+    let client = HedgedClient::connect(
+        &addrs,
+        HedgeConfig {
+            policy: ReissuePolicy::single_r(0.0, budget),
+            online: None,
+            seed: 42,
+            ..HedgeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let queries = 10_000u64;
+    for _ in 0..queries {
+        let r = client
+            .execute_blocking(Command::Get("greeting".into()))
+            .unwrap();
+        assert_eq!(r, Reply::Str("hello".into()));
+    }
+    let stats = client.stats();
+    assert_eq!(stats.queries, queries);
+    let rate = stats.reissues as f64 / stats.queries as f64;
+    assert!(
+        (rate - budget).abs() <= 0.01,
+        "observed reissue rate {rate:.4} vs budget {budget} ±1%"
+    );
+}
+
+/// (2b) Same property with the *online adapter* choosing `(d, q)`
+/// live: the adapter's own budget accounting must respect the cap.
+#[test]
+fn online_adapter_policy_stays_within_budget() {
+    let servers = [
+        TcpServer::bind(
+            "127.0.0.1:0",
+            small_store(),
+            TcpServerConfig { nanos_per_op: 300 },
+        )
+        .unwrap(),
+        TcpServer::bind(
+            "127.0.0.1:0",
+            small_store(),
+            TcpServerConfig { nanos_per_op: 300 },
+        )
+        .unwrap(),
+    ];
+    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+
+    let budget = 0.10;
+    let client = HedgedClient::connect(
+        &addrs,
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: Some(OnlineConfig {
+                k: 0.95,
+                budget,
+                window: 512,
+                reoptimize_every: 128,
+                learning_rate: 0.5,
+            }),
+            seed: 7,
+            ..HedgeConfig::default()
+        },
+    )
+    .unwrap();
+
+    for _ in 0..4_000u64 {
+        client
+            .execute_blocking(Command::SInterCard("evens".into(), "threes".into()))
+            .unwrap();
+    }
+    // The live policy's expected budget never exceeds the cap.
+    let policy = client.policy();
+    if let ReissuePolicy::SingleR { delay, prob } = policy {
+        assert!(delay >= 0.0);
+        assert!((0.0..=1.0).contains(&prob));
+    } else {
+        panic!("adapter should have produced a SingleR policy, got {policy}");
+    }
+    // And the realized reissue rate stays within budget ±1% (the
+    // adapter re-optimizes toward q·P(outstanding at d) = budget).
+    let stats = client.stats();
+    let rate = stats.reissues as f64 / stats.queries as f64;
+    assert!(
+        rate <= budget + 0.01,
+        "observed reissue rate {rate:.4} vs budget {budget} + 1%"
+    );
+}
+
+/// (3) Every RESP command type used by `kvstore::store::Command`
+/// round-trips through the TCP transport.
+#[test]
+fn tcp_transport_roundtrips_every_command_type() {
+    let server = TcpServer::bind("127.0.0.1:0", small_store(), TcpServerConfig::default()).unwrap();
+    let client = HedgedClient::connect(
+        &[server.local_addr()],
+        HedgeConfig::default(), // policy None: plain dispatch
+    )
+    .unwrap();
+
+    let cases: Vec<(Command, Reply)> = vec![
+        (Command::Ping, Reply::Pong),
+        (Command::Set("k".into(), "v".into()), Reply::Ok),
+        (Command::Get("k".into()), Reply::Str("v".into())),
+        (Command::Get("missing".into()), Reply::Nil),
+        (Command::Del("k".into()), Reply::Int(1)),
+        (Command::SAdd("s".into(), vec![3, 1, 2, 3]), Reply::Int(3)),
+        (Command::SCard("s".into()), Reply::Int(3)),
+        (
+            Command::SInter("evens".into(), "threes".into()),
+            Reply::Members((0..34u32).map(|i| i * 6).collect()),
+        ),
+        (
+            Command::SInterCard("evens".into(), "threes".into()),
+            Reply::Int(34),
+        ),
+        (Command::Get("s".into()), Reply::Error("WRONGTYPE".into())),
+    ];
+    for (cmd, want) in cases {
+        let got = client.execute_blocking(cmd.clone()).unwrap();
+        assert_eq!(got, want, "command {cmd:?}");
+    }
+
+    // `Command::Cancel` is transport-internal: it round-trips through
+    // the codec (wire format) and executes as a no-op on a bare store,
+    // but the client refuses to dispatch it as a request.
+    let mut wire = bytes::BytesMut::new();
+    encode_command(&Command::Cancel(42), &mut wire);
+    assert_eq!(
+        decode_command(&mut wire).unwrap(),
+        Some(Command::Cancel(42))
+    );
+    let mut store = KvStore::new();
+    assert_eq!(store.execute(&Command::Cancel(42)).0, Reply::Ok);
+    assert!(client.execute_blocking(Command::Cancel(42)).is_err());
+
+    // Typed replies also round-trip through the client-side decoder.
+    for reply in [
+        Reply::Ok,
+        Reply::Pong,
+        Reply::Str("xyz".into()),
+        Reply::Int(-3),
+        Reply::Members(vec![1, 2, 3]),
+        Reply::Nil,
+        Reply::Error("boom".into()),
+    ] {
+        let mut buf = bytes::BytesMut::new();
+        encode_reply(&reply, &mut buf);
+        assert_eq!(decode_reply(&mut buf).unwrap(), Some(reply));
+        assert!(buf.is_empty());
+    }
+}

@@ -105,11 +105,7 @@ impl Dataset {
     pub fn cardinality_stats(&self) -> (usize, usize, usize) {
         let mut cards: Vec<usize> = self.sets.iter().map(IntSet::len).collect();
         cards.sort_unstable();
-        (
-            cards[0],
-            cards[cards.len() / 2],
-            *cards.last().unwrap(),
-        )
+        (cards[0], cards[cards.len() / 2], *cards.last().unwrap())
     }
 }
 

@@ -102,7 +102,14 @@ pub fn decode_command(buf: &mut BytesMut) -> Result<Option<Command>, RespError> 
         "SCARD" if arity == 1 => Ok(Some(Command::SCard(arg(1)))),
         "SINTER" if arity == 2 => Ok(Some(Command::SInter(arg(1), arg(2)))),
         "SINTERCARD" if arity == 2 => Ok(Some(Command::SInterCard(arg(1), arg(2)))),
-        "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SINTER" | "SINTERCARD" => {
+        "CANCEL" if arity == 1 => {
+            let seq = std::str::from_utf8(&args[1])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or(RespError::BadArguments("sequence number expected"))?;
+            Ok(Some(Command::Cancel(seq)))
+        }
+        "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SINTER" | "SINTERCARD" | "CANCEL" => {
             Err(RespError::BadArguments("wrong arity"))
         }
         other => Err(RespError::UnknownCommand(other.to_string())),
@@ -131,11 +138,32 @@ pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
         Command::SInterCard(a, b) => {
             vec![b"SINTERCARD".to_vec(), a.to_vec(), b.to_vec()]
         }
+        Command::Cancel(seq) => {
+            vec![b"CANCEL".to_vec(), seq.to_string().into_bytes()]
+        }
     };
     out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
     for p in parts {
         bulk(out, &p);
     }
+}
+
+/// Attempts to decode one typed [`Reply`] frame from `buf` (client
+/// side). Incremental like [`decode_command`]: returns `Ok(None)` and
+/// leaves the buffer untouched until a full frame is available.
+///
+/// Member arrays are decoded back into `Reply::Members` (each element
+/// must be an integer bulk string, which is all `encode_reply` emits);
+/// `-ERR msg` decodes to `Reply::Error(msg)`.
+pub fn decode_reply(buf: &mut BytesMut) -> Result<Option<Reply>, RespError> {
+    let mut probe = Cursor { buf, pos: 0 };
+    let reply = match probe.parse_reply()? {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let consumed = probe.pos;
+    buf.advance(consumed);
+    Ok(Some(reply))
 }
 
 /// A non-consuming parse cursor over the input buffer.
@@ -180,6 +208,86 @@ impl Cursor<'_> {
             }
         }
         Ok(Some(items))
+    }
+
+    fn parse_reply(&mut self) -> Result<Option<Reply>, RespError> {
+        let Some(&head) = self.buf.get(self.pos) else {
+            return Ok(None);
+        };
+        match head {
+            b'+' => {
+                let line = match self.line()? {
+                    Some(l) => l.to_vec(),
+                    None => return Ok(None),
+                };
+                match &line[1..] {
+                    b"OK" => Ok(Some(Reply::Ok)),
+                    b"PONG" => Ok(Some(Reply::Pong)),
+                    other => Err(RespError::Protocol(format!(
+                        "unexpected simple string '{}'",
+                        String::from_utf8_lossy(other)
+                    ))),
+                }
+            }
+            b'-' => {
+                let line = match self.line()? {
+                    Some(l) => l.to_vec(),
+                    None => return Ok(None),
+                };
+                let msg = String::from_utf8_lossy(&line[1..]);
+                let msg = msg.strip_prefix("ERR ").unwrap_or(&msg);
+                Ok(Some(Reply::Error(msg.to_string())))
+            }
+            b':' => {
+                let line = match self.line()? {
+                    Some(l) => l.to_vec(),
+                    None => return Ok(None),
+                };
+                let i: i64 = std::str::from_utf8(&line[1..])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| RespError::Protocol("bad integer".into()))?;
+                Ok(Some(Reply::Int(i)))
+            }
+            b'$' => {
+                // Peek the header to distinguish nil from a bulk body.
+                let start = self.pos;
+                let header = match self.line()? {
+                    Some(l) => l.to_vec(),
+                    None => return Ok(None),
+                };
+                let len: i64 = std::str::from_utf8(&header[1..])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
+                if len < 0 {
+                    return Ok(Some(Reply::Nil));
+                }
+                self.pos = start;
+                match self.parse_bulk()? {
+                    Some(data) => Ok(Some(Reply::Str(Bytes::from(data)))),
+                    None => Ok(None),
+                }
+            }
+            b'*' => {
+                let items = match self.parse_array()? {
+                    Some(items) => items,
+                    None => return Ok(None),
+                };
+                let mut members = Vec::with_capacity(items.len());
+                for item in items {
+                    let m: u32 = std::str::from_utf8(&item)
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| RespError::Protocol("non-integer member in array".into()))?;
+                    members.push(m);
+                }
+                Ok(Some(Reply::Members(members)))
+            }
+            other => Err(RespError::Protocol(format!(
+                "unknown reply type byte 0x{other:02x}"
+            ))),
+        }
     }
 
     fn parse_bulk(&mut self) -> Result<Option<Vec<u8>>, RespError> {

@@ -60,6 +60,25 @@ impl Connection {
     pub fn pending_in(&self) -> usize {
         self.inbound.lock().len()
     }
+
+    /// Atomically drains the inbound pipe, returning whatever bytes the
+    /// server had not yet consumed. This is the tied-request
+    /// *retraction* hook: a transport that still holds an undecoded
+    /// request frame here can cancel it before it ever executes (the
+    /// sweep decodes under the same lock, so the frame either comes
+    /// back whole or has already been executed — never half of each).
+    pub fn take_inbound(&self) -> BytesMut {
+        std::mem::take(&mut *self.inbound.lock())
+    }
+
+    /// Transport side: appends raw bytes to the outbound pipe, after
+    /// any replies the server has already written. Lets a transport
+    /// layer emit its own in-order replies (e.g. a cancellation marker
+    /// for a retracted request) through the same stream the server
+    /// uses.
+    pub fn push_outbound(&self, bytes: &[u8]) {
+        self.outbound.lock().extend_from_slice(bytes);
+    }
 }
 
 /// Statistics from a server run.
@@ -121,32 +140,46 @@ impl MiniServer {
     /// idle).
     pub fn sweep(&mut self) -> usize {
         self.stats.sweeps += 1;
-        let mut executed = 0;
-        for conn in &self.connections {
-            let mut inbound = conn.inbound.lock();
-            match decode_command(&mut inbound) {
-                Ok(Some(cmd)) => {
-                    drop(inbound); // do not hold the pipe during execution
-                    let (reply, cost) = self.store.execute(&cmd);
-                    self.stats.commands += 1;
-                    self.stats.total_cost += cost;
-                    let mut out = conn.outbound.lock();
-                    encode_reply(&reply, &mut out);
-                    executed += 1;
-                }
-                Ok(None) => {} // incomplete frame; wait for more bytes
-                Err(err) => {
-                    // Redis replies with an error and drops the rest of
-                    // the unparseable buffer.
-                    self.stats.protocol_errors += 1;
-                    inbound.clear();
-                    drop(inbound);
-                    let mut out = conn.outbound.lock();
-                    encode_reply(&Reply::Error(err.to_string()), &mut out);
-                }
+        (0..self.connections.len())
+            .filter(|&i| self.sweep_conn(i).is_some())
+            .count()
+    }
+
+    /// The single-connection step of [`sweep`](Self::sweep): decodes
+    /// and executes at most one complete command for connection `idx`,
+    /// writing its reply. Returns the executed command's cost, or
+    /// `None` if the connection had no complete frame (protocol errors
+    /// consume the input and produce an error reply, also `None`).
+    ///
+    /// Transports that convert cost to wall-clock service time (e.g.
+    /// `hedge::TcpServer`) drive this directly so each command's burn
+    /// can be applied — and its reply released — individually while
+    /// still sweeping connections round-robin.
+    pub fn sweep_conn(&mut self, idx: usize) -> Option<u64> {
+        let conn = &self.connections[idx];
+        let mut inbound = conn.inbound.lock();
+        match decode_command(&mut inbound) {
+            Ok(Some(cmd)) => {
+                drop(inbound); // do not hold the pipe during execution
+                let (reply, cost) = self.store.execute(&cmd);
+                self.stats.commands += 1;
+                self.stats.total_cost += cost;
+                let mut out = conn.outbound.lock();
+                encode_reply(&reply, &mut out);
+                Some(cost)
+            }
+            Ok(None) => None, // incomplete frame; wait for more bytes
+            Err(err) => {
+                // Redis replies with an error and drops the rest of
+                // the unparseable buffer.
+                self.stats.protocol_errors += 1;
+                inbound.clear();
+                drop(inbound);
+                let mut out = conn.outbound.lock();
+                encode_reply(&Reply::Error(err.to_string()), &mut out);
+                None
             }
         }
-        executed
     }
 
     /// Sweeps until every connection's input is drained (or `max_sweeps`
@@ -173,9 +206,8 @@ pub fn parse_replies(buf: &mut BytesMut) -> Result<Vec<String>, RespError> {
         let head = buf[0];
         match head {
             b'+' | b'-' | b':' => {
-                let end = find_crlf(buf).ok_or_else(|| {
-                    RespError::Protocol("truncated simple frame".into())
-                })?;
+                let end = find_crlf(buf)
+                    .ok_or_else(|| RespError::Protocol("truncated simple frame".into()))?;
                 out.push(String::from_utf8_lossy(&buf[..end]).into_owned());
                 let _ = buf.split_to(end + 2);
             }
@@ -195,8 +227,7 @@ pub fn parse_replies(buf: &mut BytesMut) -> Result<Vec<String>, RespError> {
                         return Err(RespError::Protocol("truncated bulk body".into()));
                     }
                     out.push(
-                        String::from_utf8_lossy(&buf[end + 2..end + 2 + len as usize])
-                            .into_owned(),
+                        String::from_utf8_lossy(&buf[end + 2..end + 2 + len as usize]).into_owned(),
                     );
                     let _ = buf.split_to(total);
                 }
@@ -226,9 +257,9 @@ fn parse_replies_one(buf: &mut BytesMut) -> Result<Vec<String>, RespError> {
     // Parse exactly one frame by temporarily splitting: reuse the main
     // parser on a prefix. Simplest correct approach for tests: parse
     // one bulk/simple frame.
-    let head = *buf.first().ok_or_else(|| {
-        RespError::Protocol("truncated nested frame".into())
-    })?;
+    let head = *buf
+        .first()
+        .ok_or_else(|| RespError::Protocol("truncated nested frame".into()))?;
     match head {
         b'$' | b'+' | b'-' | b':' => {
             // Find frame extent.
@@ -310,10 +341,9 @@ mod tests {
     #[test]
     fn cost_accounting_reflects_monster_queries() {
         let mut server = MiniServer::new(KvStore::new());
-        server.store_mut().load_set(
-            "big1",
-            crate::IntSet::from_unsorted((0..50_000).collect()),
-        );
+        server
+            .store_mut()
+            .load_set("big1", crate::IntSet::from_unsorted((0..50_000).collect()));
         server.store_mut().load_set(
             "big2",
             crate::IntSet::from_unsorted((25_000..75_000).collect()),
@@ -321,7 +351,11 @@ mod tests {
         let client = server.accept();
         client.send(&Command::SInterCard(b("big1"), b("big2")));
         server.run_until_idle(5);
-        assert!(server.stats().total_cost > 50_000, "cost {}", server.stats().total_cost);
+        assert!(
+            server.stats().total_cost > 50_000,
+            "cost {}",
+            server.stats().total_cost
+        );
         let mut r = client.receive_bytes();
         assert_eq!(parse_replies(&mut r).unwrap(), vec![":25000"]);
     }

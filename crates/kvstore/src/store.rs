@@ -33,6 +33,11 @@ pub enum Command {
     SInter(Bytes, Bytes),
     /// Cardinality of the intersection of two set keys.
     SInterCard(Bytes, Bytes),
+    /// Tied-request cancellation: retract the not-yet-executed request
+    /// with this per-connection sequence number. Interpreted by the
+    /// transport layer (`hedge::TcpServer`); if one reaches the store
+    /// itself (no transport in between) it is a harmless no-op.
+    Cancel(u64),
 }
 
 /// A command reply.
@@ -154,6 +159,9 @@ impl KvStore {
                 (None, _) | (_, None) => (Reply::Int(0), 2),
                 _ => (Reply::Error("WRONGTYPE".into()), 2),
             },
+            // Nothing outstanding at store level: the transport already
+            // consumed any retractable request before execution.
+            Command::Cancel(_) => (Reply::Ok, 1),
         }
     }
 }

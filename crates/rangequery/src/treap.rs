@@ -158,12 +158,12 @@ impl Treap {
         let removed = eq.is_some();
         let eq = if let Some(e) = eq {
             // Drop one node from the equal-run: remove its root.
-            let merged = {
+
+            {
                 let (el, er) = (self.nodes[e].left, self.nodes[e].right);
                 self.free.push(e);
                 self.merge(el, er)
-            };
-            merged
+            }
         } else {
             None
         };
@@ -383,8 +383,8 @@ mod tests {
                 prop_assert_eq!(t.count_less(q), oracle.iter().filter(|&&x| x < q).count());
                 prop_assert_eq!(t.count_le(q), oracle.iter().filter(|&&x| x <= q).count());
             }
-            for r in 0..oracle.len() {
-                prop_assert_eq!(t.select(r), Some(oracle[r]));
+            for (r, &expected) in oracle.iter().enumerate() {
+                prop_assert_eq!(t.select(r), Some(expected));
             }
         }
 

@@ -226,7 +226,12 @@ mod tests {
         let idx = c.build_index();
         // Term 0 (most frequent rank) appears in far more docs than a
         // mid-rank term.
-        assert!(idx.df(0) > idx.df(500).max(1) * 3, "df0={} df500={}", idx.df(0), idx.df(500));
+        assert!(
+            idx.df(0) > idx.df(500).max(1) * 3,
+            "df0={} df500={}",
+            idx.df(0),
+            idx.df(500)
+        );
     }
 
     #[test]

@@ -48,9 +48,7 @@ impl InvertedIndex {
 
     /// Document frequency of `term` (0 for out-of-range ids).
     pub fn df(&self, term: u32) -> usize {
-        self.postings
-            .get(term as usize)
-            .map_or(0, |p| p.len())
+        self.postings.get(term as usize).map_or(0, |p| p.len())
     }
 
     /// The postings list for `term` (empty for out-of-range ids).

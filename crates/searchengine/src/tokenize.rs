@@ -63,10 +63,7 @@ impl Vocabulary {
 
     /// Tokenizes and interns a document, returning its term ids.
     pub fn intern_doc(&mut self, text: &str) -> Vec<u32> {
-        tokens_lower(text)
-            .iter()
-            .map(|t| self.intern(t))
-            .collect()
+        tokens_lower(text).iter().map(|t| self.intern(t)).collect()
     }
 
     /// Tokenizes a query against the existing vocabulary, dropping

@@ -130,12 +130,7 @@ impl QueryTrace {
     /// Standard deviation of service time (ms).
     pub fn std_ms(&self) -> f64 {
         let m = self.mean_ms();
-        (self
-            .costs_ms
-            .iter()
-            .map(|c| (c - m) * (c - m))
-            .sum::<f64>()
-            / self.costs_ms.len() as f64)
+        (self.costs_ms.iter().map(|c| (c - m) * (c - m)).sum::<f64>() / self.costs_ms.len() as f64)
             .sqrt()
     }
 

@@ -407,24 +407,17 @@ pub fn simulate(
                 }
 
                 // Start the next request, lazily dropping cancelled ones.
-                loop {
-                    match servers[server].queue.pop() {
-                        Some(next) => {
-                            if cluster.cancel_queued
-                                && next.query != STALL
-                                && queries[next.query].completed
-                            {
-                                continue; // dropped without service
-                            }
-                            if next.query != STALL && !next.is_reissue {
-                                queries[next.query].primary_wait = now - next.enqueued_at;
-                            }
-                            servers[server].in_service = Some((next, now));
-                            events.push(now + next.service, Event::Completion { server });
-                            break;
-                        }
-                        None => break,
+                while let Some(next) = servers[server].queue.pop() {
+                    if cluster.cancel_queued && next.query != STALL && queries[next.query].completed
+                    {
+                        continue; // dropped without service
                     }
+                    if next.query != STALL && !next.is_reissue {
+                        queries[next.query].primary_wait = now - next.enqueued_at;
+                    }
+                    servers[server].in_service = Some((next, now));
+                    events.push(now + next.service, Event::Completion { server });
+                    break;
                 }
             }
 
@@ -492,10 +485,7 @@ fn offer(
 ) {
     if server.in_service.is_none() {
         server.in_service = Some((req, now));
-        events.push(
-            now + req.service,
-            Event::Completion { server: server_idx },
-        );
+        events.push(now + req.service, Event::Completion { server: server_idx });
     } else {
         server.queue.push(req);
     }
@@ -551,7 +541,10 @@ mod tests {
         assert_eq!(r.records.len(), 2_000);
         assert!(r.records.iter().all(|q| q.latency.is_finite()));
         assert!(r.records.iter().all(|q| q.primary_response.is_finite()));
-        assert!(r.records.iter().all(|q| q.latency <= q.primary_response + 1e-12));
+        assert!(r
+            .records
+            .iter()
+            .all(|q| q.latency <= q.primary_response + 1e-12));
     }
 
     #[test]

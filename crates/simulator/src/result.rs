@@ -149,8 +149,7 @@ mod tests {
 
     #[test]
     fn warmup_is_skipped() {
-        let records: Vec<QueryRecord> =
-            (1..=10).map(|i| record(i as f64, false)).collect();
+        let records: Vec<QueryRecord> = (1..=10).map(|i| record(i as f64, false)).collect();
         let r = SimResult {
             records,
             warmup: 5,

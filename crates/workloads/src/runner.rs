@@ -51,7 +51,9 @@ impl System for SimSystem<'_> {
         let seed = if self.paired {
             self.run.seed
         } else {
-            self.run.seed.wrapping_add(self.trial.wrapping_mul(1_000_003))
+            self.run
+                .seed
+                .wrapping_add(self.trial.wrapping_mul(1_000_003))
         };
         let cfg = RunConfig { seed, ..self.run };
         self.trial += 1;
@@ -106,7 +108,12 @@ pub fn optimal_policy_static(
 /// The SingleD policy with budget `B` for a static workload: reissue at
 /// the empirical `(1 − B)`-quantile of the primary response times
 /// (Equation 2).
-pub fn single_d_static(spec: &WorkloadSpec, samples: usize, budget: f64, seed: u64) -> ReissuePolicy {
+pub fn single_d_static(
+    spec: &WorkloadSpec,
+    samples: usize,
+    budget: f64,
+    seed: u64,
+) -> ReissuePolicy {
     let mut xs = spec.sample_primaries(samples, seed);
     xs.sort_by(f64::total_cmp);
     let q = reissue_core::metrics::quantile(&xs, (1.0 - budget).clamp(0.0, 1.0));
@@ -188,6 +195,10 @@ mod tests {
             base.quantile(0.95)
         );
         // Budget approximately respected in execution.
-        assert!(tuned.reissue_rate() <= 0.25, "rate={}", tuned.reissue_rate());
+        assert!(
+            tuned.reissue_rate() <= 0.25,
+            "rate={}",
+            tuned.reissue_rate()
+        );
     }
 }

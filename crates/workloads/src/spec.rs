@@ -94,9 +94,7 @@ impl ServiceSpec {
                 DistSpec::LogNormal { mu, sigma } => {
                     Box::new(IidService::new(LogNormal::new(mu, sigma)))
                 }
-                DistSpec::Exponential { rate } => {
-                    Box::new(IidService::new(Exponential::new(rate)))
-                }
+                DistSpec::Exponential { rate } => Box::new(IidService::new(Exponential::new(rate))),
             },
             ServiceSpec::Correlated { dist, r } => match *dist {
                 DistSpec::Pareto { shape, mode } => {
@@ -184,16 +182,17 @@ impl WorkloadSpec {
     /// for trace workloads if the index range is empty. Convenience for
     /// analytic sanity checks.
     pub fn sample_primaries(&self, n: usize, seed: u64) -> Vec<f64> {
-        self.sample_pairs(n, seed).into_iter().map(|p| p.0).collect()
+        self.sample_pairs(n, seed)
+            .into_iter()
+            .map(|p| p.0)
+            .collect()
     }
 
     /// Direct access to the underlying distribution sampler for
     /// analytic workloads (used by tests).
     pub fn dist_sample(&self, rng: &mut rand::rngs::SmallRng) -> Option<f64> {
         match &self.service {
-            ServiceSpec::Iid(d) | ServiceSpec::Correlated { dist: d, .. } => {
-                Some(d.sample(rng))
-            }
+            ServiceSpec::Iid(d) | ServiceSpec::Correlated { dist: d, .. } => Some(d.sample(rng)),
             ServiceSpec::Trace { .. } => None,
         }
     }
@@ -217,10 +216,11 @@ mod tests {
                 .abs()
                 < 1e-9
         );
-        assert!(
-            (DistSpec::Exponential { rate: 0.1 }.mean() - 10.0).abs() < 1e-12
-        );
-        let ln = DistSpec::LogNormal { mu: 1.0, sigma: 1.0 };
+        assert!((DistSpec::Exponential { rate: 0.1 }.mean() - 10.0).abs() < 1e-12);
+        let ln = DistSpec::LogNormal {
+            mu: 1.0,
+            sigma: 1.0,
+        };
         assert!((ln.mean() - (1.5f64).exp()).abs() < 1e-9);
     }
 

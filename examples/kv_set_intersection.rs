@@ -20,8 +20,10 @@ fn main() {
         ..DatasetConfig::default()
     });
     let (min, median, max) = dataset.cardinality_stats();
-    println!("dataset: {} sets, cardinalities min/median/max = {min}/{median}/{max}",
-        dataset.sets.len());
+    println!(
+        "dataset: {} sets, cardinalities min/median/max = {min}/{median}/{max}",
+        dataset.sets.len()
+    );
 
     // 2. Exercise the actual command path once, over the wire format.
     let mut store = KvStore::new();

@@ -23,7 +23,11 @@ fn main() {
     let primaries: Vec<f64> = dist.sample_n(&mut rng, 100_000);
     let reissues: Vec<f64> = dist.sample_n(&mut rng, 100_000);
 
-    println!("samples: {} primary / {} reissue", primaries.len(), reissues.len());
+    println!(
+        "samples: {} primary / {} reissue",
+        primaries.len(),
+        reissues.len()
+    );
     println!(
         "no-reissue P95 = {:.1} ms, P99 = {:.1} ms",
         reissue::metrics::quantile(&primaries, 0.95),
@@ -45,7 +49,10 @@ fn main() {
         "  expected reissue rate = {:.2}% (≤ budget)",
         100.0 * policy.budget_used
     );
-    println!("  predicted P95         = {:.1} ms", policy.predicted_latency);
+    println!(
+        "  predicted P95         = {:.1} ms",
+        policy.predicted_latency
+    );
 
     // A SingleD (deterministic hedge, "Tail at Scale") policy with the
     // same budget must wait until only `budget` of requests remain:

@@ -27,7 +27,10 @@ fn main() {
 
     // 2. Run one query for real and show its hits.
     let (hits, cost) = search(&index, &[15, 40, 200], 5);
-    println!("sample query [15, 40, 200]: {} hits, {cost} postings scanned", hits.len());
+    println!(
+        "sample query [15, 40, 200]: {} hits, {cost} postings scanned",
+        hits.len()
+    );
     for h in hits.iter().take(3) {
         println!("  doc {} score {:.3}", h.doc, h.score);
     }

@@ -21,7 +21,10 @@ fn main() {
     let k = 0.95;
     let budget = 0.10;
 
-    println!("workload: {} | {} queries, target P95, budget {budget}", spec.name, 60_000);
+    println!(
+        "workload: {} | {} queries, target P95, budget {budget}",
+        spec.name, 60_000
+    );
 
     let base = spec.run(&run, &ReissuePolicy::None);
     println!(

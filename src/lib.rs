@@ -17,7 +17,15 @@
 //!   ([`adaptive`]), and budget search ([`budget`]),
 //! * a discrete-event cluster simulator ([`sim`]), a Redis-like key-value
 //!   store ([`kv`]) and a Lucene-like search engine ([`search`]) used to
-//!   regenerate every figure of the paper's evaluation.
+//!   regenerate every figure of the paper's evaluation,
+//! * and — beyond offline analysis — the [`hedge`] **speculative-execution
+//!   runtime**: a `std`-only async executor, a TCP transport that puts the
+//!   kvstore's round-robin loop behind real sockets, and a
+//!   [`hedge::HedgedClient`] that dispatches the primary, arms the SingleR
+//!   `(d, q)` timer, races a reissue against it, cancels the loser
+//!   tied-request style on the wire (`CANCEL <seq>` retraction), and feeds
+//!   observed latencies into [`online::OnlineAdapter`] so the policy
+//!   re-optimizes *while serving traffic*.
 //!
 //! ## Quickstart
 //!
@@ -56,12 +64,35 @@
 //! assert!(p95_hedged < p95_base);
 //! ```
 //!
+//! ## Serve hedged traffic over TCP
+//!
+//! Spin up replicas and hedge against them (see
+//! `examples/hedged_kv_cluster.rs` for the full three-replica
+//! comparison):
+//!
+//! ```no_run
+//! use reissue::hedge::{HedgeConfig, HedgedClient, TcpServerConfig};
+//! use reissue::kv::{Command, KvStore};
+//! use reissue::policy::ReissuePolicy;
+//!
+//! let replicas =
+//!     reissue::hedge::spawn_replicas(3, &KvStore::new(), TcpServerConfig::default()).unwrap();
+//! let addrs: Vec<_> = replicas.iter().map(|r| r.local_addr()).collect();
+//! let client = HedgedClient::connect(&addrs, HedgeConfig {
+//!     policy: ReissuePolicy::single_r(5.0, 0.2), // hedge after 5 ms, q = 0.2
+//!     ..HedgeConfig::default()
+//! }).unwrap();
+//! let reply = client.execute_blocking(Command::Ping).unwrap();
+//! println!("{reply:?} — stats: {:?}", client.stats());
+//! ```
+//!
 //! See `examples/` for end-to-end walkthroughs and `crates/bench` for the
 //! harness that regenerates each figure in the paper.
 
 #![forbid(unsafe_code)]
 
 pub use distributions as dist;
+pub use hedge;
 pub use kvstore as kv;
 pub use rangequery;
 pub use searchengine as search;

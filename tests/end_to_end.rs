@@ -149,10 +149,7 @@ fn simulation_conservation_laws() {
         assert!(rec.latency.is_finite());
         assert!(rec.latency <= rec.primary_response + 1e-9);
         if rec.reissued && rec.reissue_response.is_finite() {
-            assert!(
-                rec.latency
-                    <= rec.reissue_dispatch_delay + rec.reissue_response + 1e-9
-            );
+            assert!(rec.latency <= rec.reissue_dispatch_delay + rec.reissue_response + 1e-9);
         }
         if !rec.reissued {
             assert!((rec.latency - rec.primary_response).abs() < 1e-9);

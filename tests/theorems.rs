@@ -52,8 +52,7 @@ fn theorem_3_2_random_multiple_r_never_wins() {
             .collect();
         ds.sort_by(f64::total_cmp);
         let qs: Vec<f64> = (0..3).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
-        let policy =
-            ReissuePolicy::multiple_r(ds.iter().zip(&qs).map(|(&d, &q)| (d, q)).collect());
+        let policy = ReissuePolicy::multiple_r(ds.iter().zip(&qs).map(|(&d, &q)| (d, q)).collect());
         if expected_budget(&policy, &x, &y) > budget {
             continue; // outside the budget class
         }

@@ -66,6 +66,7 @@ fn bench_single_d(c: &mut Criterion) {
 }
 
 fn bench_online_single_r(c: &mut Criterion) {
+    // Pinned to the §4.1 independence model (min_pairs: usize::MAX).
     bench_policy(
         c,
         "policy_online_single_r",
@@ -77,6 +78,30 @@ fn bench_online_single_r(c: &mut Criterion) {
                 window: 512,
                 reoptimize_every: 128,
                 learning_rate: 0.5,
+                min_pairs: usize::MAX,
+            }),
+            ..HedgeConfig::default()
+        },
+    );
+}
+
+fn bench_online_single_r_correlated(c: &mut Criterion) {
+    // The §4.2 censored-pair path: raced hedges feed joint samples and
+    // re-optimization runs the correlated optimizer once 32 pairs
+    // accumulate — measuring the serving-path cost of the Kaplan–Meier
+    // completion + Fenwick sweep against the independent baseline above.
+    bench_policy(
+        c,
+        "policy_online_single_r_correlated",
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: Some(OnlineConfig {
+                k: 0.99,
+                budget: 0.05,
+                window: 512,
+                reoptimize_every: 128,
+                learning_rate: 0.5,
+                min_pairs: 32,
             }),
             ..HedgeConfig::default()
         },
@@ -104,6 +129,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_none, bench_single_d, bench_online_single_r, bench_transport_roundtrip
+    targets = bench_none, bench_single_d, bench_online_single_r,
+        bench_online_single_r_correlated, bench_transport_roundtrip
 }
 criterion_main!(benches);

@@ -59,6 +59,7 @@ fn main() {
             "ext1" => figs_ext::ext1_cancellation(scale),
             "ext2" => figs_ext::ext2_routing(scale),
             "ext3" => figs_ext::ext3_multiple_r(scale),
+            "ext4" => figs_ext::ext4_online_correlated(scale),
             "ext" => figs_ext::all(scale),
             other => {
                 eprintln!("unknown figure id: {other}");

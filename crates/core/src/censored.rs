@@ -1,0 +1,378 @@
+//! Censored-observation estimation for paired `(primary, reissue)`
+//! samples.
+//!
+//! The §4.2 correlated optimizer
+//! ([`crate::optimizer::compute_optimal_single_r_correlated`]) needs
+//! *joint* samples of a query's primary and reissue response times. A
+//! serving system with tied-request cancellation cannot observe them
+//! directly: when the winner's cancel retracts the loser before it
+//! executes, the loser's response time is unknown — all the client
+//! learns is a **lower bound** (the time the loser had already been
+//! outstanding when the retraction was confirmed). Dropping those pairs
+//! would bias the joint distribution toward races the loser *finished*
+//! (i.e. close races), which is precisely the correlation structure the
+//! optimizer is trying to measure.
+//!
+//! This module treats retracted losers as right-censored observations
+//! and completes them with the Kaplan–Meier product-limit estimator:
+//! each censored value is replaced by its conditional expectation above
+//! the censoring bound under the KM survival curve of its own marginal
+//! (a bounds-bracketing completion — when no event mass lies above the
+//! bound, the bound itself is used, the conservative bracket).
+//!
+//! ```
+//! use reissue_core::censored::{complete_pairs, Obs};
+//!
+//! let pairs = vec![
+//!     (Obs::Exact(1.0), Obs::Exact(2.0)),
+//!     (Obs::Exact(5.0), Obs::Censored(1.5)), // loser retracted at 1.5
+//! ];
+//! let completed = complete_pairs(&pairs);
+//! assert_eq!(completed.len(), 2);
+//! assert!(completed[1].1 >= 1.5, "imputed value respects the bound");
+//! ```
+
+/// One possibly-censored response-time observation (milliseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Obs {
+    /// The request completed; its exact response time.
+    Exact(f64),
+    /// The request was retracted (tied-request cancel landed in time);
+    /// its response time is only known to be at least this large.
+    Censored(f64),
+}
+
+impl Obs {
+    /// The observation's time component (exact value or censoring
+    /// bound).
+    pub fn value(self) -> f64 {
+        match self {
+            Obs::Exact(v) | Obs::Censored(v) => v,
+        }
+    }
+
+    /// Whether this observation is right-censored.
+    pub fn is_censored(self) -> bool {
+        matches!(self, Obs::Censored(_))
+    }
+}
+
+/// Kaplan–Meier product-limit estimator of a survival function from a
+/// mix of exact (event) and right-censored observations.
+///
+/// `O(n log n)` to [`fit`](Self::fit); `O(log n)` per
+/// [`survival`](Self::survival) or [`mean_beyond`](Self::mean_beyond)
+/// probe (the serving path imputes one censored observation per probe
+/// while holding the client's policy lock, so probes must not scan).
+#[derive(Clone, Debug)]
+pub struct KaplanMeier {
+    /// `(event_time, S(t) just after the event)`, ascending in time.
+    steps: Vec<(f64, f64)>,
+    /// `tail[i] = ∫ S(t) dt` over `[steps[i].0, steps[last].0]` — the
+    /// suffix integrals of the survival step function, so conditional
+    /// means need no scan.
+    tail: Vec<f64>,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator. Ties between events and censorings at the
+    /// same time use the standard convention: events happen first
+    /// (censored observations at `t` are still at risk at `t`).
+    ///
+    /// # Panics
+    /// Panics on non-finite observation times.
+    pub fn fit(obs: &[Obs]) -> Self {
+        assert!(
+            obs.iter().all(|o| o.value().is_finite()),
+            "observations must be finite"
+        );
+        let mut sorted: Vec<(f64, bool)> =
+            obs.iter().map(|o| (o.value(), o.is_censored())).collect();
+        // Events (false) before censorings (true) at equal times.
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let n = sorted.len();
+        let mut steps = Vec::new();
+        let mut survival = 1.0f64;
+        let mut i = 0usize;
+        while i < n {
+            let t = sorted[i].0;
+            let mut events = 0usize;
+            let mut j = i;
+            while j < n && sorted[j].0 == t {
+                if !sorted[j].1 {
+                    events += 1;
+                }
+                j += 1;
+            }
+            let at_risk = n - i;
+            if events > 0 {
+                survival *= 1.0 - events as f64 / at_risk as f64;
+                steps.push((t, survival));
+            }
+            i = j;
+        }
+        let mut tail = vec![0.0; steps.len()];
+        for i in (0..steps.len().saturating_sub(1)).rev() {
+            tail[i] = tail[i + 1] + steps[i].1 * (steps[i + 1].0 - steps[i].0);
+        }
+        KaplanMeier { steps, tail }
+    }
+
+    /// `Ŝ(t) = P(T > t)` under the product-limit estimate.
+    pub fn survival(&self, t: f64) -> f64 {
+        match self.steps.partition_point(|&(ti, _)| ti <= t) {
+            0 => 1.0,
+            i => self.steps[i - 1].1,
+        }
+    }
+
+    /// Number of distinct event times.
+    pub fn num_events(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The restricted conditional mean `E[T | T > lb]`, integrating the
+    /// KM survival curve from `lb` to the last event time (the standard
+    /// restricted-mean convention — mass the estimator leaves beyond
+    /// the last event is truncated there).
+    ///
+    /// Returns `lb` itself when no event mass lies above `lb` (nothing
+    /// to integrate): the conservative lower bracket of the completed
+    /// value.
+    pub fn mean_beyond(&self, lb: f64) -> f64 {
+        // First event strictly beyond lb; S(lb) is the survival just
+        // before it.
+        let idx = self.steps.partition_point(|&(ti, _)| ti <= lb);
+        if idx == self.steps.len() {
+            return lb; // no event mass beyond the bound
+        }
+        let s_lb = if idx == 0 { 1.0 } else { self.steps[idx - 1].1 };
+        if s_lb <= 0.0 {
+            return lb;
+        }
+        // ∫ S(t) dt over [lb, t_last] of the step function, then
+        // normalize by S(lb): E[T − lb | T > lb]. The integral is the
+        // flat stretch from lb to the next event plus the precomputed
+        // suffix.
+        let integral = s_lb * (self.steps[idx].0 - lb) + self.tail[idx];
+        lb + integral / s_lb
+    }
+}
+
+/// Completes a window of possibly-censored `(primary, reissue)` pairs
+/// into exact pairs consumable by
+/// [`crate::optimizer::compute_optimal_single_r_correlated`].
+///
+/// Each side's censored values are imputed independently from that
+/// side's own marginal KM curve via [`KaplanMeier::mean_beyond`]. The
+/// returned vector is index-aligned with `pairs`.
+///
+/// # Panics
+/// Panics on non-finite observation times.
+pub fn complete_pairs(pairs: &[(Obs, Obs)]) -> Vec<(f64, f64)> {
+    let xs: Vec<Obs> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<Obs> = pairs.iter().map(|p| p.1).collect();
+    complete_pairs_with(&KaplanMeier::fit(&xs), &KaplanMeier::fit(&ys), pairs)
+}
+
+/// [`complete_pairs`] against caller-supplied KM curves — for callers
+/// that pool additional marginal observations into the fits (e.g.
+/// `online::OnlineAdapter`, whose pair window alone under-represents
+/// deep primary events because stragglers are nearly always retracted).
+pub fn complete_pairs_with(
+    km_x: &KaplanMeier,
+    km_y: &KaplanMeier,
+    pairs: &[(Obs, Obs)],
+) -> Vec<(f64, f64)> {
+    pairs
+        .iter()
+        .map(|&(x, y)| {
+            let cx = match x {
+                Obs::Exact(v) => v,
+                Obs::Censored(lb) => km_x.mean_beyond(lb),
+            };
+            let cy = match y {
+                Obs::Exact(v) => v,
+                Obs::Censored(lb) => km_y.mean_beyond(lb),
+            };
+            (cx, cy)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::rng::seeded;
+    use distributions::{Exponential, Sample};
+    use rand::Rng;
+
+    #[test]
+    fn uncensored_survival_matches_ecdf() {
+        let obs: Vec<Obs> = (1..=10).map(|i| Obs::Exact(f64::from(i))).collect();
+        let km = KaplanMeier::fit(&obs);
+        // With no censoring KM is exactly the empirical survival.
+        assert_eq!(km.survival(0.5), 1.0);
+        assert!((km.survival(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(km.survival(10.0), 0.0);
+        assert_eq!(km.num_events(), 10);
+    }
+
+    #[test]
+    fn uncensored_mean_beyond_is_conditional_sample_mean() {
+        let obs: Vec<Obs> = (1..=10).map(|i| Obs::Exact(f64::from(i))).collect();
+        let km = KaplanMeier::fit(&obs);
+        // E[T | T > 6] over {7,8,9,10} = 8.5.
+        assert!((km.mean_beyond(6.0) - 8.5).abs() < 1e-9);
+        // E[T | T > 0] = overall mean 5.5.
+        assert!((km.mean_beyond(0.0) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_censored_returns_bound() {
+        let obs = vec![Obs::Censored(1.0), Obs::Censored(2.0)];
+        let km = KaplanMeier::fit(&obs);
+        assert_eq!(km.survival(10.0), 1.0);
+        assert_eq!(km.num_events(), 0);
+        assert_eq!(km.mean_beyond(1.5), 1.5);
+    }
+
+    #[test]
+    fn bound_past_last_event_returns_bound() {
+        let obs = vec![Obs::Exact(1.0), Obs::Exact(2.0)];
+        let km = KaplanMeier::fit(&obs);
+        assert_eq!(km.mean_beyond(5.0), 5.0);
+    }
+
+    #[test]
+    fn hand_worked_product_limit() {
+        // Classic textbook case: events at 1, 3; censored at 2.
+        // S(1) = 1 - 1/3 = 2/3. At t=3, at-risk = 1 (the censored-at-2
+        // subject has left): S(3) = 2/3 * (1 - 1/1) = 0.
+        let obs = vec![Obs::Exact(1.0), Obs::Censored(2.0), Obs::Exact(3.0)];
+        let km = KaplanMeier::fit(&obs);
+        assert!((km.survival(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((km.survival(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(km.survival(3.0), 0.0);
+    }
+
+    #[test]
+    fn km_recovers_exponential_survival_under_censoring() {
+        // T ~ Exp(1), independently censored at C ~ Exp(0.5) (heavy:
+        // ~1/3 of observations censored). KM should still track the
+        // true survival e^{-t} in the body.
+        let mut rng = seeded(42);
+        let t_dist = Exponential::new(1.0);
+        let c_dist = Exponential::new(0.5);
+        let obs: Vec<Obs> = (0..40_000)
+            .map(|_| {
+                let t = t_dist.sample(&mut rng);
+                let c = c_dist.sample(&mut rng);
+                if t <= c {
+                    Obs::Exact(t)
+                } else {
+                    Obs::Censored(c)
+                }
+            })
+            .collect();
+        let censored = obs.iter().filter(|o| o.is_censored()).count();
+        assert!(censored > 10_000, "want heavy censoring, got {censored}");
+        let km = KaplanMeier::fit(&obs);
+        for t in [0.25f64, 0.5, 1.0, 1.5, 2.0] {
+            let want = (-t).exp();
+            let got = km.survival(t);
+            assert!((got - want).abs() < 0.02, "S({t}): km={got} true={want}");
+        }
+    }
+
+    #[test]
+    fn km_mean_beyond_matches_memorylessness() {
+        // For Exp(1), E[T | T > lb] = lb + 1 for any lb — the sharpest
+        // check of the conditional-mean integration (up to truncation
+        // at the last event, small at this sample size).
+        let mut rng = seeded(43);
+        let t_dist = Exponential::new(1.0);
+        let c_dist = Exponential::new(0.4);
+        let obs: Vec<Obs> = (0..60_000)
+            .map(|_| {
+                let t = t_dist.sample(&mut rng);
+                let c = c_dist.sample(&mut rng);
+                if t <= c {
+                    Obs::Exact(t)
+                } else {
+                    Obs::Censored(c)
+                }
+            })
+            .collect();
+        let km = KaplanMeier::fit(&obs);
+        for lb in [0.0, 0.5, 1.0, 2.0] {
+            let got = km.mean_beyond(lb);
+            let want = lb + 1.0;
+            assert!(
+                (got - want).abs() < 0.15,
+                "E[T|T>{lb}]: km={got} true={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_pairs_preserves_exact_and_bounds_censored() {
+        let mut rng = seeded(44);
+        let d = Exponential::new(1.0);
+        let pairs: Vec<(Obs, Obs)> = (0..5_000)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                let y = d.sample(&mut rng);
+                let ox = Obs::Exact(x);
+                let oy = if rng.gen::<f64>() < 0.5 {
+                    Obs::Censored(0.5 * y)
+                } else {
+                    Obs::Exact(y)
+                };
+                (ox, oy)
+            })
+            .collect();
+        let completed = complete_pairs(&pairs);
+        assert_eq!(completed.len(), pairs.len());
+        for (orig, comp) in pairs.iter().zip(&completed) {
+            assert_eq!(orig.0.value(), comp.0, "exact side untouched");
+            match orig.1 {
+                Obs::Exact(v) => assert_eq!(v, comp.1),
+                Obs::Censored(lb) => assert!(comp.1 >= lb, "imputation below bound"),
+            }
+        }
+    }
+
+    #[test]
+    fn complete_pairs_imputation_is_unbiased_on_exponentials() {
+        // Censor the reissue side whenever it exceeds the primary (the
+        // raced-hedge pattern: the loser is retracted when the winner
+        // finishes). The completed Y mean should be close to the true
+        // E[Y] = 1 despite ~50% informative censoring.
+        let mut rng = seeded(45);
+        let d = Exponential::new(1.0);
+        let pairs: Vec<(Obs, Obs)> = (0..40_000)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                let y = d.sample(&mut rng);
+                if y > x {
+                    (Obs::Exact(x), Obs::Censored(x))
+                } else {
+                    (Obs::Exact(x), Obs::Exact(y))
+                }
+            })
+            .collect();
+        let completed = complete_pairs(&pairs);
+        let mean_y = completed.iter().map(|p| p.1).sum::<f64>() / completed.len() as f64;
+        assert!(
+            (mean_y - 1.0).abs() < 0.1,
+            "completed E[Y]={mean_y}, want ≈ 1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_observation_panics() {
+        let _ = KaplanMeier::fit(&[Obs::Exact(f64::NAN)]);
+    }
+}

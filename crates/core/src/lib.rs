@@ -21,6 +21,9 @@
 //! * [`adaptive`] — iterative adaptation for load-dependent queueing
 //!   delays (§4.3): refine the reissue delay with a learning rate until
 //!   predicted and observed tail latencies converge.
+//! * [`censored`] — Kaplan–Meier completion of censored
+//!   `(primary, reissue)` race pairs, feeding the §4.2 correlated
+//!   optimizer from serving systems that cancel tied requests.
 //! * [`budget`] — reissue-budget selection (§4.4): the expanding/halving
 //!   binary search and SLA-constrained budget minimization.
 //! * [`metrics`] — exact and streaming quantiles, latency-reduction
@@ -35,6 +38,7 @@
 
 pub mod adaptive;
 pub mod budget;
+pub mod censored;
 pub mod ecdf;
 pub mod metrics;
 pub mod model;

@@ -7,11 +7,31 @@
 //! stream in, a sliding window holds the last `window` observations in
 //! order-statistic treaps (so quantiles and CDF evaluations stay
 //! `O(log n)` under churn), and every `reoptimize_every` completed
-//! queries the SingleR parameters are recomputed from the window with
-//! the same learning-rate damping as the batch loop.
+//! observations the SingleR parameters are recomputed from the window
+//! with the same learning-rate damping as the batch loop.
+//!
+//! ## Correlation-aware adaptation from censored pairs
+//!
+//! Two observation streams ([`OnlineAdapter::observe_primary`] /
+//! [`OnlineAdapter::observe_reissue`]) can only drive the §4.1
+//! *independence-model* optimizer, which overvalues hedging the
+//! just-past-`d` noise band — where a correlated redraw wins nothing —
+//! and spends the budget there instead of on deep stragglers. The §4.2
+//! correlated optimizer needs *joint* `(primary, reissue)` samples,
+//! which a serving system with tied-request cancellation censors: a
+//! retracted loser's response time is known only as a lower bound.
+//!
+//! [`OnlineAdapter::observe_pair`] therefore accepts raced-hedge
+//! outcomes with either side possibly censored; the window of pairs is
+//! completed Kaplan–Meier-style (see [`crate::censored`]) at each
+//! re-optimization, and once [`OnlineConfig::min_pairs`] pairs have
+//! accumulated the adapter switches from
+//! [`compute_optimal_single_r`] to
+//! [`compute_optimal_single_r_correlated`] — falling back to the
+//! independent path while the pair window is still thin.
 //!
 //! ```
-//! use reissue_core::online::{OnlineAdapter, OnlineConfig};
+//! use reissue_core::online::{OnlineAdapter, OnlineConfig, ReissueOutcome};
 //!
 //! let mut adapter = OnlineAdapter::new(OnlineConfig {
 //!     k: 0.95,
@@ -19,16 +39,24 @@
 //!     window: 1_000,
 //!     reoptimize_every: 500,
 //!     learning_rate: 0.5,
+//!     min_pairs: 64,
 //! });
 //! // Feed observations as queries complete; consult the policy any time.
 //! for i in 0..2_000u32 {
 //!     adapter.observe_primary(f64::from(i % 100 + 1));
 //! }
+//! // Raced hedges arrive as pairs; a loser cancelled in time is a
+//! // censored observation (lower bound = elapsed when retracted).
+//! adapter.observe_pair(42.0, ReissueOutcome::Completed(11.0));
+//! adapter.observe_pair(55.0, ReissueOutcome::Censored(12.5));
 //! let policy = adapter.policy();
 //! assert!(policy.budget_used <= 0.1 + 1e-9);
 //! ```
 
-use crate::optimizer::{compute_optimal_single_r, OptimalSingleR};
+use crate::censored::{complete_pairs_with, KaplanMeier, Obs};
+use crate::optimizer::{
+    compute_optimal_single_r, compute_optimal_single_r_correlated, OptimalSingleR,
+};
 use rangequery::Treap;
 use std::collections::VecDeque;
 
@@ -39,22 +67,62 @@ pub struct OnlineConfig {
     pub k: f64,
     /// Reissue budget.
     pub budget: f64,
-    /// Sliding-window size (observations retained).
+    /// Sliding-window size (observations retained per stream, and
+    /// raced pairs retained in the pair window).
     pub window: usize,
-    /// Re-optimize after this many new primary observations.
+    /// Re-optimize after this many new observations (primaries,
+    /// reissues and pairs all count).
     pub reoptimize_every: usize,
     /// Damping for delay updates, as in the §4.3 loop.
     pub learning_rate: f64,
+    /// Minimum raced pairs in the window before re-optimization
+    /// switches to the §4.2 correlated optimizer. The pair window is
+    /// capped at [`window`](Self::window), so any value above `window`
+    /// — conventionally `usize::MAX` — pins the adapter to the
+    /// independence model permanently (e.g. for A/B runs).
+    pub min_pairs: usize,
+}
+
+impl Default for OnlineConfig {
+    /// P99 target, 5 % budget, 2 048-observation window re-optimized
+    /// every 512 observations with the §4.3 half-step, switching to the
+    /// correlated optimizer after 64 raced pairs.
+    fn default() -> Self {
+        OnlineConfig {
+            k: 0.99,
+            budget: 0.05,
+            window: 2_048,
+            reoptimize_every: 512,
+            learning_rate: 0.5,
+            min_pairs: 64,
+        }
+    }
+}
+
+/// Outcome of the reissue side of a raced hedge, as fed to
+/// [`OnlineAdapter::observe_pair`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReissueOutcome {
+    /// The reissue completed; its exact response time (ms, measured
+    /// from its own dispatch).
+    Completed(f64),
+    /// The reissue was retracted in time (tied-request cancel); its
+    /// response time is only known to exceed this lower bound — the
+    /// time it had been outstanding when the retraction confirmed.
+    Censored(f64),
 }
 
 /// Streaming SingleR policy maintenance over a sliding window.
 ///
 /// The window lives in two [`Treap`]s (primary and reissue response
 /// times) plus eviction queues, so inserts, evictions and the quantile
-/// probes the optimizer needs are all logarithmic. Re-optimization
-/// extracts the window as sorted vectors (`O(w)`) and runs the standard
-/// `ComputeOptimalSingleR`, then moves the live delay a `learning_rate`
-/// step toward the recommendation.
+/// probes the optimizer needs are all logarithmic; raced hedges
+/// additionally land in a bounded pair window with per-side censoring.
+/// Re-optimization extracts the windows as sorted vectors (`O(w)`) and
+/// runs `ComputeOptimalSingleR` — the §4.2 correlated variant once
+/// [`OnlineConfig::min_pairs`] censored-completed pairs are available,
+/// the §4.1 independent variant before that — then moves the live delay
+/// a `learning_rate` step toward the recommendation.
 #[derive(Clone, Debug)]
 pub struct OnlineAdapter {
     cfg: OnlineConfig,
@@ -62,11 +130,15 @@ pub struct OnlineAdapter {
     primary_order: VecDeque<f64>,
     reissue: Treap,
     reissue_order: VecDeque<f64>,
+    pairs: VecDeque<(Obs, Obs)>,
+    censored_in_window: usize,
     seen_since_opt: usize,
     delay: f64,
     probability: f64,
     last_opt: Option<OptimalSingleR>,
     reoptimizations: u64,
+    correlated_reoptimizations: u64,
+    used_correlated: bool,
 }
 
 impl OnlineAdapter {
@@ -90,23 +162,133 @@ impl OnlineAdapter {
             primary_order: VecDeque::with_capacity(cfg.window + 1),
             reissue: Treap::new(0xB0B),
             reissue_order: VecDeque::with_capacity(cfg.window + 1),
+            pairs: VecDeque::new(),
+            censored_in_window: 0,
             seen_since_opt: 0,
             delay: 0.0,
             probability: 0.0,
             last_opt: None,
             reoptimizations: 0,
+            correlated_reoptimizations: 0,
+            used_correlated: false,
         }
     }
 
     /// Records a completed primary request's response time.
     pub fn observe_primary(&mut self, response: f64) {
         assert!(response.is_finite(), "response must be finite");
+        self.push_primary(response);
+        self.note_observation();
+    }
+
+    /// Records a completed reissue request's response time (measured
+    /// from its own dispatch).
+    pub fn observe_reissue(&mut self, response: f64) {
+        assert!(response.is_finite(), "response must be finite");
+        self.push_reissue(response);
+        self.note_observation();
+    }
+
+    /// Records a raced hedge: the primary's exact response time plus
+    /// the reissue's outcome — exact when the loser completed, censored
+    /// at its elapsed-at-retraction lower bound when the tied-request
+    /// cancel landed in time.
+    ///
+    /// The exact sides also feed the marginal windows, so a pair counts
+    /// as one completed query toward the re-optimization trigger.
+    ///
+    /// # Panics
+    /// Panics on non-finite values.
+    pub fn observe_pair(&mut self, primary_ms: f64, reissue: ReissueOutcome) {
+        assert!(primary_ms.is_finite(), "response must be finite");
+        let y = match reissue {
+            ReissueOutcome::Completed(v) => {
+                assert!(v.is_finite(), "response must be finite");
+                self.push_reissue(v);
+                Obs::Exact(v)
+            }
+            ReissueOutcome::Censored(lb) => {
+                assert!(lb.is_finite(), "bound must be finite");
+                Obs::Censored(lb.max(0.0))
+            }
+        };
+        self.push_primary(primary_ms);
+        self.push_pair(Obs::Exact(primary_ms), y);
+        self.note_observation();
+    }
+
+    /// Records a raced hedge the *reissue* won while the primary's
+    /// tied-request cancel landed in time: the primary is censored at
+    /// its elapsed-at-retraction lower bound, the reissue is exact.
+    ///
+    /// The censored primary does **not** enter the marginal primary
+    /// window directly; its Kaplan–Meier completion is merged into the
+    /// optimizer's primary samples at re-optimization time, so the
+    /// straggler mass that cancellation hides from the marginal stream
+    /// still reaches the delay sweep.
+    ///
+    /// # Panics
+    /// Panics on non-finite values.
+    pub fn observe_pair_censored_primary(&mut self, primary_lower_bound_ms: f64, reissue_ms: f64) {
+        assert!(
+            primary_lower_bound_ms.is_finite() && reissue_ms.is_finite(),
+            "response must be finite"
+        );
+        self.push_reissue(reissue_ms);
+        self.push_pair(
+            Obs::Censored(primary_lower_bound_ms.max(0.0)),
+            Obs::Exact(reissue_ms),
+        );
+        self.note_observation();
+    }
+
+    fn push_primary(&mut self, response: f64) {
         self.primary.insert(response);
         self.primary_order.push_back(response);
         if self.primary_order.len() > self.cfg.window {
             let old = self.primary_order.pop_front().unwrap();
             self.primary.remove(old);
         }
+    }
+
+    fn push_reissue(&mut self, response: f64) {
+        self.reissue.insert(response);
+        self.reissue_order.push_back(response);
+        if self.reissue_order.len() > self.cfg.window {
+            let old = self.reissue_order.pop_front().unwrap();
+            self.reissue.remove(old);
+        }
+    }
+
+    fn push_pair(&mut self, x: Obs, y: Obs) {
+        if x.is_censored() || y.is_censored() {
+            self.censored_in_window += 1;
+        }
+        self.pairs.push_back((x, y));
+        if self.pairs.len() > self.cfg.window {
+            let (ox, oy) = self.pairs.pop_front().unwrap();
+            if ox.is_censored() || oy.is_censored() {
+                self.censored_in_window -= 1;
+            }
+        }
+    }
+
+    /// Completes the pair window's censored sides against KM curves
+    /// fit on the pooled pair-side + marginal-window observations (see
+    /// the comment in [`reoptimize`](Self::reoptimize) for why the
+    /// marginals must be pooled in).
+    fn complete_with_marginals(&self, pairs: &[(Obs, Obs)], rx: &[f64]) -> Vec<(f64, f64)> {
+        let mut x_obs: Vec<Obs> = rx.iter().map(|&v| Obs::Exact(v)).collect();
+        x_obs.extend(pairs.iter().map(|p| p.0).filter(|o| o.is_censored()));
+        let km_x = KaplanMeier::fit(&x_obs);
+        let mut y_obs: Vec<Obs> = self.reissue_order.iter().map(|&v| Obs::Exact(v)).collect();
+        y_obs.extend(pairs.iter().map(|p| p.1).filter(|o| o.is_censored()));
+        let km_y = KaplanMeier::fit(&y_obs);
+        complete_pairs_with(&km_x, &km_y, pairs)
+    }
+
+    /// Counts one completed observation and re-optimizes when due.
+    fn note_observation(&mut self) {
         self.seen_since_opt += 1;
         if self.seen_since_opt >= self.cfg.reoptimize_every
             && self.primary_order.len() >= self.cfg.window.min(64)
@@ -116,28 +298,53 @@ impl OnlineAdapter {
         }
     }
 
-    /// Records a completed reissue request's response time (measured
-    /// from its own dispatch).
-    pub fn observe_reissue(&mut self, response: f64) {
-        assert!(response.is_finite(), "response must be finite");
-        self.reissue.insert(response);
-        self.reissue_order.push_back(response);
-        if self.reissue_order.len() > self.cfg.window {
-            let old = self.reissue_order.pop_front().unwrap();
-            self.reissue.remove(old);
-        }
-    }
-
     fn reoptimize(&mut self) {
-        let rx = self.primary.to_sorted_vec();
-        // With no reissue observations yet, treat reissues as
-        // exchangeable with primaries (the batch loop's fallback).
-        let ry = if self.reissue.len() >= 16 {
-            self.reissue.to_sorted_vec()
+        let mut rx = self.primary.to_sorted_vec();
+        let opt = if self.pairs.len() >= self.cfg.min_pairs.max(2) {
+            // §4.2 path: complete the censored pairs Kaplan–Meier-style
+            // and price the joint structure into the policy.
+            //
+            // The KM fits pool the pair sides with the *marginal*
+            // windows. This matters for the primary side: a straggler
+            // that raced is nearly always retracted in time (it was
+            // stuck in a queue — that is why it lost), so the pair
+            // window alone contains almost no deep primary *events*
+            // and its KM would impute censored stragglers back into
+            // the body. The marginal window still sees the full
+            // latency of stragglers that were never hedged (the
+            // q-coin spares most of them), so pooling restores the
+            // deep tail the imputation needs.
+            let pairs: Vec<(Obs, Obs)> = self.pairs.iter().copied().collect();
+            let completed = self.complete_with_marginals(&pairs, &rx);
+            // Censored primaries (reissue-won races whose primary was
+            // retracted) are absent from the marginal window; merge
+            // their completions so the delay sweep sees the straggler
+            // mass that cancellation hid.
+            let mut grew = false;
+            for ((x, _), &(cx, _)) in pairs.iter().zip(&completed) {
+                if x.is_censored() {
+                    rx.push(cx);
+                    grew = true;
+                }
+            }
+            if grew {
+                rx.sort_by(f64::total_cmp);
+            }
+            self.used_correlated = true;
+            self.correlated_reoptimizations += 1;
+            compute_optimal_single_r_correlated(&rx, &completed, self.cfg.k, self.cfg.budget)
         } else {
-            rx.clone()
+            // §4.1 fallback: with no reissue observations yet, treat
+            // reissues as exchangeable with primaries (the batch loop's
+            // fallback).
+            let ry = if self.reissue.len() >= 16 {
+                self.reissue.to_sorted_vec()
+            } else {
+                rx.clone()
+            };
+            self.used_correlated = false;
+            compute_optimal_single_r(&rx, &ry, self.cfg.k, self.cfg.budget)
         };
-        let opt = compute_optimal_single_r(&rx, &ry, self.cfg.k, self.cfg.budget);
         // Damped update, as in §4.3.
         self.delay += self.cfg.learning_rate * (opt.delay - self.delay);
         let outstanding = 1.0 - self.primary.cdf(self.delay);
@@ -181,9 +388,31 @@ impl OnlineAdapter {
         self.reoptimizations
     }
 
+    /// Number of re-optimizations that ran the §4.2 correlated
+    /// optimizer (vs the §4.1 independence fallback).
+    pub fn correlated_reoptimizations(&self) -> u64 {
+        self.correlated_reoptimizations
+    }
+
+    /// Whether the most recent re-optimization used the correlated
+    /// optimizer (`false` before any re-optimization).
+    pub fn using_correlated(&self) -> bool {
+        self.used_correlated
+    }
+
     /// Observations currently held in the primary window.
     pub fn window_len(&self) -> usize {
         self.primary_order.len()
+    }
+
+    /// Raced pairs currently held in the pair window.
+    pub fn pairs_len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Pairs in the window with at least one censored side.
+    pub fn censored_pairs_len(&self) -> usize {
+        self.censored_in_window
     }
 }
 
@@ -191,7 +420,9 @@ impl OnlineAdapter {
 mod tests {
     use super::*;
     use distributions::rng::seeded;
-    use distributions::{Exponential, Sample};
+    use distributions::{Exponential, LogNormal, Sample};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
 
     fn cfg() -> OnlineConfig {
         OnlineConfig {
@@ -200,6 +431,7 @@ mod tests {
             window: 2_000,
             reoptimize_every: 500,
             learning_rate: 0.5,
+            min_pairs: 64,
         }
     }
 
@@ -255,8 +487,11 @@ mod tests {
         let d = Exponential::new(1.0);
         for _ in 0..1_000 {
             a.observe_primary(d.sample(&mut rng));
+            a.observe_pair(d.sample(&mut rng), ReissueOutcome::Censored(0.5));
         }
         assert_eq!(a.window_len(), 100);
+        assert_eq!(a.pairs_len(), 100, "pair window must evict too");
+        assert_eq!(a.censored_pairs_len(), 100);
         assert!(a.window_quantile(0.5).is_some());
     }
 
@@ -277,16 +512,252 @@ mod tests {
     }
 
     #[test]
+    fn reissue_observations_advance_reoptimization_trigger() {
+        // Regression: a reissue-heavy stretch must not leave the policy
+        // stale past `reoptimize_every` (the counter used to advance on
+        // primaries only).
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            window: 64,
+            reoptimize_every: 100,
+            ..cfg()
+        });
+        let mut rng = seeded(5);
+        let d = Exponential::new(1.0);
+        for _ in 0..64 {
+            a.observe_primary(d.sample(&mut rng));
+        }
+        assert_eq!(a.reoptimizations(), 0);
+        for _ in 0..36 {
+            a.observe_reissue(d.sample(&mut rng));
+        }
+        assert_eq!(
+            a.reoptimizations(),
+            1,
+            "100 mixed observations must trigger a re-optimization"
+        );
+    }
+
+    #[test]
     fn no_reissues_until_warmed_up() {
         let a = OnlineAdapter::new(cfg());
         let p = a.policy();
         assert_eq!(p.probability, 0.0);
         assert_eq!(a.window_len(), 0);
+        assert_eq!(a.pairs_len(), 0);
+        assert!(!a.using_correlated());
     }
 
     #[test]
     #[should_panic(expected = "window")]
     fn tiny_window_rejected() {
         let _ = OnlineAdapter::new(OnlineConfig { window: 4, ..cfg() });
+    }
+
+    #[test]
+    fn pair_window_gates_correlated_path() {
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            window: 256,
+            reoptimize_every: 64,
+            min_pairs: 128,
+            ..cfg()
+        });
+        let mut rng = seeded(6);
+        let d = Exponential::new(1.0);
+        // Below min_pairs: independent path.
+        for _ in 0..100 {
+            a.observe_pair(
+                d.sample(&mut rng),
+                ReissueOutcome::Completed(d.sample(&mut rng)),
+            );
+        }
+        assert!(a.reoptimizations() >= 1);
+        assert!(!a.using_correlated());
+        assert_eq!(a.correlated_reoptimizations(), 0);
+        // Past min_pairs: correlated path engages.
+        for _ in 0..100 {
+            a.observe_pair(
+                d.sample(&mut rng),
+                ReissueOutcome::Completed(d.sample(&mut rng)),
+            );
+        }
+        assert!(a.using_correlated());
+        assert!(a.correlated_reoptimizations() >= 1);
+        // Pinned to the independence model, the gate never opens.
+        let mut pinned = OnlineAdapter::new(OnlineConfig {
+            window: 256,
+            reoptimize_every: 64,
+            min_pairs: usize::MAX,
+            ..cfg()
+        });
+        for _ in 0..500 {
+            pinned.observe_pair(
+                d.sample(&mut rng),
+                ReissueOutcome::Completed(d.sample(&mut rng)),
+            );
+        }
+        assert!(pinned.reoptimizations() >= 4);
+        assert!(!pinned.using_correlated());
+    }
+
+    #[test]
+    fn censored_primary_pairs_accepted() {
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            window: 128,
+            reoptimize_every: 64,
+            min_pairs: 16,
+            ..cfg()
+        });
+        let mut rng = seeded(7);
+        let d = Exponential::new(1.0);
+        for _ in 0..64 {
+            a.observe_primary(d.sample(&mut rng));
+        }
+        for _ in 0..64 {
+            // Reissue won at y; primary retracted after y + 1 elapsed.
+            let y = d.sample(&mut rng);
+            a.observe_pair_censored_primary(y + 1.0, y);
+        }
+        assert!(a.using_correlated());
+        let p = a.policy();
+        assert!(p.delay.is_finite() && p.delay >= 0.0);
+        assert!(p.budget_used <= 0.1 + 1e-9);
+        assert_eq!(a.censored_pairs_len(), 64);
+    }
+
+    /// The noise-band workload of the correlated-adaptation story: a
+    /// query's latency is a shared per-query cost `C` (the "noise
+    /// band": a fast mode of cheap lookups and a slow mode of heavy
+    /// queries, jittered) plus a rare *dispatch-specific* stall. A
+    /// redraw re-samples only the stall and the jitter, so hedging
+    /// inside the band wins nothing — but the *marginal* reissue
+    /// distribution is full of fast-mode samples, which fools the
+    /// independence model into pricing band hedges as if a slow-mode
+    /// query could redraw into the fast mode.
+    ///
+    /// Returns `(x, y)`: primary and reissue service times.
+    fn band_stall_pair(rng: &mut SmallRng) -> (f64, f64) {
+        let jitter = LogNormal::new(0.0, 0.15);
+        let c = if rng.gen::<f64>() < 0.55 { 0.1 } else { 3.0 };
+        let stall = |rng: &mut SmallRng| {
+            if rng.gen::<f64>() < 0.03 {
+                50.0 + Exponential::new(0.2).sample(rng)
+            } else {
+                0.0
+            }
+        };
+        let x = c * jitter.sample(rng) + stall(rng);
+        let y = c * jitter.sample(rng) + stall(rng);
+        (x, y)
+    }
+
+    /// Feeds one band-stall query to the adapter the way a hedging
+    /// client with tied-request cancellation would, racing a
+    /// hypothetical reissue at delay `d0`: no race below `d0`; a lost
+    /// reissue is censored at its elapsed-at-cancel bound.
+    fn feed_raced(a: &mut OnlineAdapter, x: f64, y: f64, d0: f64) {
+        if x <= d0 {
+            a.observe_primary(x);
+        } else if d0 + y < x {
+            // Reissue wins; the losing primary completes (exact pair).
+            a.observe_pair(x, ReissueOutcome::Completed(y));
+        } else {
+            // Primary wins; the reissue is retracted in time.
+            a.observe_pair(x, ReissueOutcome::Censored(x - d0));
+        }
+    }
+
+    #[test]
+    fn correlated_adapter_clears_noise_band_where_independent_does_not() {
+        let base = OnlineConfig {
+            k: 0.95,
+            budget: 0.1,
+            window: 8_000,
+            reoptimize_every: 2_000,
+            learning_rate: 1.0,
+            min_pairs: 200,
+        };
+        let mut corr = OnlineAdapter::new(base);
+        let mut ind = OnlineAdapter::new(OnlineConfig {
+            min_pairs: usize::MAX,
+            ..base
+        });
+        let mut rng = seeded(8);
+        let d0 = 0.3;
+        for _ in 0..40_000 {
+            let (x, y) = band_stall_pair(&mut rng);
+            feed_raced(&mut corr, x, y, d0);
+            feed_raced(&mut ind, x, y, d0);
+        }
+        assert!(corr.using_correlated());
+        assert!(!ind.using_correlated());
+        assert!(
+            corr.censored_pairs_len() > corr.pairs_len() / 2,
+            "want heavy censoring"
+        );
+        // "Past the noise band" = past the slow mode's median (3.0):
+        // a delay below it spends budget re-drawing band queries whose
+        // correlated redraw wins nothing.
+        let band_edge = 3.0;
+        let d_corr = corr.policy().delay;
+        let d_ind = ind.policy().delay;
+        assert!(
+            d_corr > band_edge,
+            "correlated delay {d_corr} should clear the band edge {band_edge}"
+        );
+        assert!(
+            d_ind < band_edge,
+            "independence-model delay {d_ind} should sit inside the band (edge {band_edge})"
+        );
+        assert!(d_corr > d_ind);
+        // Both stay within budget on their own accounting.
+        assert!(corr.policy().budget_used <= 0.1 + 1e-9);
+        assert!(ind.policy().budget_used <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn heavy_censoring_still_converges_near_oracle() {
+        // The adapter sees only censored race outcomes; the oracle sees
+        // the full uncensored joint sample. Their chosen delays must
+        // land in the same regime (both past the noise band, within a
+        // factor of each other).
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            k: 0.95,
+            budget: 0.1,
+            window: 8_000,
+            reoptimize_every: 2_000,
+            learning_rate: 1.0,
+            min_pairs: 200,
+        });
+        let mut rng = seeded(9);
+        let d0 = 0.3;
+        let mut oracle_rx = Vec::new();
+        let mut oracle_pairs = Vec::new();
+        for _ in 0..40_000 {
+            let (x, y) = band_stall_pair(&mut rng);
+            oracle_rx.push(x);
+            if x > d0 {
+                oracle_pairs.push((x, y));
+            }
+            feed_raced(&mut a, x, y, d0);
+        }
+        let oracle = compute_optimal_single_r_correlated(&oracle_rx, &oracle_pairs, 0.95, 0.1);
+        let d_adapter = a.policy().delay;
+        let band_edge = 3.0;
+        assert!(
+            oracle.delay > band_edge,
+            "oracle delay {} should clear the band",
+            oracle.delay
+        );
+        assert!(
+            d_adapter > band_edge,
+            "adapter delay {d_adapter} should clear the band like the oracle"
+        );
+        let ratio = d_adapter / oracle.delay;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "adapter delay {d_adapter} vs oracle {} (ratio {ratio})",
+            oracle.delay
+        );
+        assert!(a.policy().budget_used <= 0.1 + 1e-9);
     }
 }

@@ -14,9 +14,14 @@
 //!    [`CancelToken`] — the transport pushes `CANCEL <seq>` to the
 //!    backend, which retracts the queued frame if it has not executed
 //!    (tied requests);
-//! 5. feeds observed latencies into the [`OnlineAdapter`], which
+//! 5. feeds observations into the [`OnlineAdapter`], which
 //!    re-optimizes `(d, q)` every `reoptimize_every` completions while
-//!    the system serves.
+//!    the system serves. Un-raced queries feed the primary stream;
+//!    **raced hedges feed joint `(primary, reissue)` pairs** — exact
+//!    when the loser completed, censored at the loser's
+//!    elapsed-at-retraction lower bound when the cancel landed in time
+//!    — so the adapter can run the §4.2 *correlated* optimizer instead
+//!    of the independence model (see `reissue_core::online`).
 
 use crate::rt::{race, Either, Runtime};
 use crate::sync::CancelToken;
@@ -25,7 +30,8 @@ use crate::transport::{ReplicaSet, TransportError};
 use kvstore::{Command, Reply};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use reissue_core::online::{OnlineAdapter, OnlineConfig};
+use reissue_core::censored::Obs;
+use reissue_core::online::{OnlineAdapter, OnlineConfig, ReissueOutcome};
 use reissue_core::policy::ReissuePolicy;
 
 use std::net::SocketAddr;
@@ -88,6 +94,13 @@ pub struct HedgeStats {
     /// Loser requests whose cancellation reached the backend in time
     /// (retracted before execution).
     pub cancelled_in_time: u64,
+    /// Raced hedges that produced an exact `(primary, reissue)` pair
+    /// for the adapter (the loser completed).
+    pub pairs_exact: u64,
+    /// Raced hedges that produced a censored pair (the loser was
+    /// retracted in time; only its elapsed-at-cancel lower bound is
+    /// known).
+    pub pairs_censored: u64,
     /// Transport errors observed (winner path only).
     pub errors: u64,
 }
@@ -103,6 +116,8 @@ struct Counters {
     reissues: AtomicU64,
     reissue_wins: AtomicU64,
     cancelled_in_time: AtomicU64,
+    pairs_exact: AtomicU64,
+    pairs_censored: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -163,6 +178,8 @@ impl HedgedClient {
                     reissues: AtomicU64::new(0),
                     reissue_wins: AtomicU64::new(0),
                     cancelled_in_time: AtomicU64::new(0),
+                    pairs_exact: AtomicU64::new(0),
+                    pairs_censored: AtomicU64::new(0),
                     errors: AtomicU64::new(0),
                 },
                 latencies_ms: Mutex::new(LatencyRing {
@@ -199,8 +216,18 @@ impl HedgedClient {
             reissues: c.reissues.load(Ordering::Relaxed),
             reissue_wins: c.reissue_wins.load(Ordering::Relaxed),
             cancelled_in_time: c.cancelled_in_time.load(Ordering::Relaxed),
+            pairs_exact: c.pairs_exact.load(Ordering::Relaxed),
+            pairs_censored: c.pairs_censored.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether the online adapter's most recent re-optimization used
+    /// the §4.2 correlated optimizer (`None` when online adaptation is
+    /// off).
+    pub fn online_correlated(&self) -> Option<bool> {
+        let st = self.inner.state.lock().unwrap();
+        st.adapter.as_ref().map(|a| a.using_correlated())
     }
 
     /// Number of queries slower than `threshold_ms` among the most
@@ -260,7 +287,7 @@ impl HedgedClient {
                 .request(cmd.clone(), primary_token.clone());
 
             let outcome = match schedule {
-                None => primary.await.map(|r| (r, false)),
+                None => primary.await.map(|r| (r, false, false)),
                 Some(delay) => {
                     // Arm the SingleR timer. If the budget governor has
                     // no quota when it fires, re-arm and ask again each
@@ -275,7 +302,7 @@ impl HedgedClient {
                         match race(primary, inner.rt.sleep(delay)).await {
                             // Primary finished: no reissue needed.
                             Either::Left((reply, _timer)) => {
-                                break reply.map(|r| (r, false));
+                                break reply.map(|r| (r, false, false));
                             }
                             Either::Right((p, ())) if !inner.governor_allows() => {
                                 primary = p; // re-arm and re-ask
@@ -291,15 +318,20 @@ impl HedgedClient {
                                     .replica(reissue_idx)
                                     .request(cmd.clone(), reissue_token.clone());
                                 let reissue_started = Instant::now();
+                                // Raced hedges are observed as joint
+                                // (primary, reissue) pairs once the
+                                // loser's fate is known — see
+                                // `drain_loser`.
                                 break match race(p, reissue).await {
                                     Either::Left((reply, loser)) => {
                                         reissue_token.cancel();
+                                        let primary_ms = started.elapsed().as_secs_f64() * 1e3;
                                         inner.clone().drain_loser(
                                             loser,
                                             reissue_started,
-                                            LoserKind::Reissue,
+                                            LoserKind::Reissue { primary_ms },
                                         );
-                                        reply.map(|r| (r, false))
+                                        reply.map(|r| (r, false, true))
                                     }
                                     Either::Right((loser, reply)) => {
                                         primary_token.cancel();
@@ -307,15 +339,14 @@ impl HedgedClient {
                                         // The winning reissue's own
                                         // response time, from *its*
                                         // dispatch.
-                                        inner.observe(Observation::Reissue(
-                                            reissue_started.elapsed().as_secs_f64() * 1e3,
-                                        ));
+                                        let reissue_ms =
+                                            reissue_started.elapsed().as_secs_f64() * 1e3;
                                         inner.clone().drain_loser(
                                             loser,
                                             started,
-                                            LoserKind::Primary,
+                                            LoserKind::Primary { reissue_ms },
                                         );
-                                        reply.map(|r| (r, true))
+                                        reply.map(|r| (r, true, true))
                                     }
                                 };
                             }
@@ -332,21 +363,19 @@ impl HedgedClient {
             }
             inner.counters.queries.fetch_add(1, Ordering::Relaxed);
             match outcome {
-                Ok((reply, won_by_reissue)) => {
+                Ok((reply, _won_by_reissue, raced)) => {
                     inner.latencies_ms.lock().unwrap().push(elapsed_ms);
-                    // Only *true completions* feed the adapter: the
-                    // primary stream sees primary wins here (and
-                    // too-late-to-cancel losers via the drain task).
-                    // Retracted primaries are censored out, which makes
-                    // the adapter's outstanding-mass estimate
-                    // optimistic and its `q` high — deliberately so:
-                    // feeding hedged outcomes back in as primary
-                    // samples would permanently inflate the
-                    // above-delay mass and pin `q` below 1, leaking
-                    // exactly the victims hedging exists to save. The
-                    // realized reissue rate is enforced independently
-                    // by the budget governor.
-                    if !won_by_reissue {
+                    // Un-raced completions feed the primary stream
+                    // directly. Raced hedges are *not* observed here:
+                    // their joint (primary, reissue) outcome — exact or
+                    // censored — is assembled by `drain_loser` once the
+                    // loser resolves, so the adapter sees correlated
+                    // pairs instead of two unpaired streams. Retracted
+                    // losers arrive as censored bounds rather than
+                    // being dropped, so the straggler mass that
+                    // cancellation used to hide from the optimizer now
+                    // reaches it through the Kaplan–Meier completion.
+                    if !raced {
                         inner.observe(Observation::Primary(elapsed_ms));
                     }
                     Ok(reply)
@@ -369,11 +398,19 @@ impl HedgedClient {
 enum Observation {
     Primary(f64),
     Reissue(f64),
+    /// A raced hedge's joint outcome; either side may be censored
+    /// (lower bound only) when the loser's retraction landed in time.
+    Pair {
+        primary: Obs,
+        reissue: Obs,
+    },
 }
 
 enum LoserKind {
-    Primary,
-    Reissue,
+    /// The primary lost; the winning reissue took `reissue_ms`.
+    Primary { reissue_ms: f64 },
+    /// The reissue lost; the winning primary took `primary_ms`.
+    Reissue { primary_ms: f64 },
 }
 
 impl HcInner {
@@ -405,6 +442,20 @@ impl HcInner {
         match obs {
             Observation::Primary(ms) => adapter.observe_primary(ms),
             Observation::Reissue(ms) => adapter.observe_reissue(ms),
+            Observation::Pair { primary, reissue } => match (primary, reissue) {
+                (Obs::Exact(x), Obs::Exact(y)) => {
+                    adapter.observe_pair(x, ReissueOutcome::Completed(y));
+                }
+                (Obs::Exact(x), Obs::Censored(lb)) => {
+                    adapter.observe_pair(x, ReissueOutcome::Censored(lb));
+                }
+                (Obs::Censored(lb), Obs::Exact(y)) => {
+                    adapter.observe_pair_censored_primary(lb, y);
+                }
+                // Both sides censored cannot happen: the winner always
+                // completes.
+                (Obs::Censored(_), Obs::Censored(_)) => {}
+            },
         }
         let live = adapter.policy();
         if live.probability > 0.0 && live.delay.is_finite() && live.delay >= 0.0 {
@@ -412,10 +463,17 @@ impl HcInner {
         }
     }
 
-    /// Asynchronously drains a losing request: records whether the
-    /// cancel landed in time and, if the loser did complete, feeds its
-    /// latency to the adapter (its response time is still a valid
-    /// sample of its stream).
+    /// Asynchronously drains a losing request and assembles the race's
+    /// joint `(primary, reissue)` observation for the adapter:
+    ///
+    /// * loser **completed** → exact pair (its response time is a valid
+    ///   sample of its stream, now paired with the winner's);
+    /// * loser **retracted in time** → censored pair: all we know is
+    ///   the loser had been outstanding for `dispatched.elapsed()` when
+    ///   the retraction confirmed, a lower bound on the response time
+    ///   it would have had;
+    /// * loser failed at the transport → no pair; the winner's side
+    ///   feeds its marginal stream alone.
     fn drain_loser(
         self: Arc<Self>,
         loser: crate::transport::InFlight,
@@ -429,15 +487,37 @@ impl HcInner {
                     self.counters
                         .cancelled_in_time
                         .fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(_) => {
-                    let ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                    self.counters.pairs_censored.fetch_add(1, Ordering::Relaxed);
+                    let lb = dispatched.elapsed().as_secs_f64() * 1e3;
                     self.observe(match kind {
-                        LoserKind::Primary => Observation::Primary(ms),
-                        LoserKind::Reissue => Observation::Reissue(ms),
+                        LoserKind::Primary { reissue_ms } => Observation::Pair {
+                            primary: Obs::Censored(lb),
+                            reissue: Obs::Exact(reissue_ms),
+                        },
+                        LoserKind::Reissue { primary_ms } => Observation::Pair {
+                            primary: Obs::Exact(primary_ms),
+                            reissue: Obs::Censored(lb),
+                        },
                     });
                 }
-                Err(_) => {}
+                Ok(_) => {
+                    self.counters.pairs_exact.fetch_add(1, Ordering::Relaxed);
+                    let ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                    self.observe(match kind {
+                        LoserKind::Primary { reissue_ms } => Observation::Pair {
+                            primary: Obs::Exact(ms),
+                            reissue: Obs::Exact(reissue_ms),
+                        },
+                        LoserKind::Reissue { primary_ms } => Observation::Pair {
+                            primary: Obs::Exact(primary_ms),
+                            reissue: Obs::Exact(ms),
+                        },
+                    });
+                }
+                Err(_) => self.observe(match kind {
+                    LoserKind::Primary { reissue_ms } => Observation::Reissue(reissue_ms),
+                    LoserKind::Reissue { primary_ms } => Observation::Primary(primary_ms),
+                }),
             }
         });
     }

@@ -17,8 +17,14 @@
 //!   connections per replica.
 //! * [`client`] — [`client::HedgedClient`]: dispatch the primary, arm
 //!   the SingleR `(d, q)` timer, race, cancel the loser, and feed
-//!   observed latencies to `reissue_core::online::OnlineAdapter` so
-//!   the policy re-optimizes while serving.
+//!   observations to `reissue_core::online::OnlineAdapter` so the
+//!   policy re-optimizes while serving. Raced hedges are fed as joint
+//!   `(primary, reissue)` pairs — censored at the loser's
+//!   elapsed-at-retraction bound when the tied-request cancel landed in
+//!   time — which lets the adapter run the §4.2 *correlated* optimizer
+//!   once `OnlineConfig::min_pairs` pairs accumulate, instead of the
+//!   independence model that overvalues hedging the just-past-`d`
+//!   noise band.
 //!
 //! ## Quickstart
 //!
@@ -39,7 +45,8 @@
 //! let addrs: Vec<_> = replicas.iter().map(|r| r.local_addr()).collect();
 //!
 //! // A client that starts unhedged and lets the online adapter find
-//! // (d, q) for a 5% reissue budget targeting P99.
+//! // (d, q) for a 5% reissue budget targeting P99, switching to the
+//! // correlated optimizer once 64 raced pairs accumulate.
 //! let client = HedgedClient::connect(&addrs, HedgeConfig {
 //!     policy: ReissuePolicy::None,
 //!     online: Some(OnlineConfig {
@@ -48,6 +55,7 @@
 //!         window: 2_000,
 //!         reoptimize_every: 500,
 //!         learning_rate: 0.5,
+//!         min_pairs: 64,
 //!     }),
 //!     ..HedgeConfig::default()
 //! }).unwrap();

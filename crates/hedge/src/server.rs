@@ -129,6 +129,13 @@ impl TcpServer {
         f(self.shared.server.lock().unwrap().store_mut())
     }
 
+    /// Connections currently tracked. Disconnected peers are reaped by
+    /// the sweeper, so this returns to zero once clients go away (it
+    /// used to grow monotonically — see `reap_dead`).
+    pub fn connection_count(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
+    }
+
     /// Stops all threads and closes the listener.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
@@ -287,6 +294,7 @@ fn sweep_loop(shared: &Arc<Shared>) {
         // Catch stragglers (e.g. protocol-error replies written by the
         // readers) that the per-command flush above did not cover.
         flush_replies(shared);
+        reap_dead(shared);
         if executed == 0 {
             let server = shared.server.lock().unwrap();
             // Timeout bounds the lost-wakeup window (reader notifies
@@ -304,6 +312,37 @@ fn flush_replies(shared: &Arc<Shared>) {
     let conns = shared.conns.lock().unwrap();
     for conn in conns.iter() {
         flush_conn(conn);
+    }
+}
+
+/// Removes connections whose peers have gone away (reader hit EOF, or
+/// a reply write failed), keeping `shared.conns` and the
+/// `MiniServer`'s connection list index-aligned — both lists only ever
+/// append at the tail and remove here, under both locks. Without this
+/// the sweep and broadcast loops scan dead connections forever and
+/// memory grows with every client that ever connected.
+fn reap_dead(shared: &Arc<Shared>) {
+    if !shared
+        .conns
+        .lock()
+        .unwrap()
+        .iter()
+        .any(|c| c.dead.load(Ordering::SeqCst))
+    {
+        return;
+    }
+    // Lock order: server before conns, matching no other nested use
+    // (the accept loop takes them in separate statements).
+    let mut server = shared.server.lock().unwrap();
+    let mut conns = shared.conns.lock().unwrap();
+    let mut idx = 0;
+    while idx < conns.len() {
+        if conns[idx].dead.load(Ordering::SeqCst) {
+            server.remove_connection(idx);
+            conns.remove(idx);
+        } else {
+            idx += 1;
+        }
     }
 }
 
@@ -416,6 +455,60 @@ mod tests {
         // The cancelled command must never have executed: exactly one
         // SINTERCARD ran.
         assert_eq!(server.stats().commands, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnected_clients_are_reaped() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        // Connect, round-trip, disconnect — repeatedly. Before the
+        // reap, every one of these left a dead ConnState (and a dead
+        // MiniServer pipe) behind forever.
+        for _ in 0..8 {
+            let mut c = TcpStream::connect(server.local_addr()).unwrap();
+            send_cmd(&mut c, &Command::Ping);
+            assert_eq!(read_reply(&mut c), Reply::Pong);
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.connection_count() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.connection_count(),
+            0,
+            "dead connections must be reaped"
+        );
+        // A fresh client still works after the reaping (indices stayed
+        // aligned between the transport and the MiniServer).
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut c, &Command::Ping);
+        assert_eq!(read_reply(&mut c), Reply::Pong);
+        assert_eq!(server.connection_count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reaping_preserves_live_connections_between_dead_ones() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let mut keep1 = TcpStream::connect(server.local_addr()).unwrap();
+        let doomed = TcpStream::connect(server.local_addr()).unwrap();
+        let mut keep2 = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut keep1, &Command::Ping);
+        assert_eq!(read_reply(&mut keep1), Reply::Pong);
+        drop(doomed);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.connection_count() > 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.connection_count(), 2);
+        // The survivors (one before, one after the removed slot) still
+        // round-trip: sweep indices were not skewed by the removal.
+        send_cmd(&mut keep2, &Command::Set("k".into(), "v".into()));
+        assert_eq!(read_reply(&mut keep2), Reply::Ok);
+        send_cmd(&mut keep1, &Command::Get("k".into()));
+        assert_eq!(read_reply(&mut keep1), Reply::Str("v".into()));
         server.shutdown();
     }
 

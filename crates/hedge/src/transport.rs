@@ -10,6 +10,13 @@
 //! retract the frame (see [`crate::server`]). Either way every request
 //! gets exactly one reply, so the connection re-synchronizes by
 //! construction.
+//!
+//! A connection that breaks (replica restart, broken pipe) does not
+//! poison its pool slot: the request that observed the failure is
+//! retried once on a freshly dialed socket (sequence numbers restart
+//! at zero on both sides) before its error is surfaced, and later
+//! requests keep re-dialing — so a restarted replica heals
+//! transparently while a still-down replica fails fast.
 
 use crate::sync::{oneshot, CancelToken, RecvFuture, Sender};
 use bytes::BytesMut;
@@ -103,15 +110,13 @@ impl Replica {
     pub fn connect(addr: SocketAddr, pool: usize) -> std::io::Result<Replica> {
         let conns = (0..pool.max(1))
             .map(|i| {
-                let stream = TcpStream::connect(addr)?;
-                stream.set_nodelay(true)?;
-                stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+                let stream = connect_socket(addr)?;
                 let writer = stream.try_clone()?;
                 let (tx, rx) = mpsc::channel::<Job>();
                 let inflight = Arc::new(AtomicU64::new(0));
                 let handle = std::thread::Builder::new()
                     .name(format!("hedge-conn-{addr}-{i}"))
-                    .spawn(move || conn_loop(stream, writer, &rx))
+                    .spawn(move || conn_loop(addr, stream, writer, &rx))
                     .expect("spawn connection I/O thread");
                 Ok(Conn {
                     jobs: Some(tx),
@@ -209,81 +214,184 @@ impl Future for InFlight {
     }
 }
 
-fn conn_loop(mut stream: TcpStream, writer: TcpStream, jobs: &mpsc::Receiver<Job>) {
-    // The writer must be shareable with cancel callbacks, which run on
-    // other threads while this thread is blocked reading the reply.
-    let writer = Arc::new(Mutex::new(writer));
-    let mut buf = BytesMut::new();
-    let mut chunk = [0u8; 16 * 1024];
-    // Sequence numbers count commands actually sent on the wire — the
-    // server counts the same way, so they stay aligned. A job
-    // cancelled before dispatch must NOT consume a number.
-    let mut seq: u64 = 0;
+/// Whether re-executing `cmd` (after an ambiguous connection failure)
+/// yields the same *reply* as the first execution would have. State is
+/// idempotent for every kvstore command, but `DEL`/`SADD` replies
+/// count what the call itself changed — a duplicate execution would
+/// return 0/fewer and silently mislead the caller.
+fn retry_safe(cmd: &Command) -> bool {
+    !matches!(cmd, Command::Del(_) | Command::SAdd(..))
+}
 
-    'jobs: for job in jobs.iter() {
+fn connect_socket(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    Ok(stream)
+}
+
+/// Per-connection I/O state, replaced wholesale on reconnect.
+struct ConnIo {
+    reader: TcpStream,
+    /// Shared with cancel callbacks, which run on other threads while
+    /// this thread is blocked reading the reply. Reconnect swaps the
+    /// stream *inside* the mutex so registered callbacks keep working.
+    writer: Arc<Mutex<TcpStream>>,
+    buf: BytesMut,
+    /// Sequence numbers count commands actually sent on the wire — the
+    /// server counts the same way, so they stay aligned. A job
+    /// cancelled before dispatch must NOT consume a number; a fresh
+    /// connection restarts both sides at zero.
+    seq: u64,
+}
+
+/// A single request attempt's failure mode: retryable failures are
+/// socket-level (the connection died; a fresh socket may succeed),
+/// final failures are answered as-is.
+enum AttemptError {
+    Retryable(TransportError),
+    Final(TransportError),
+}
+
+/// Writes the job's frame and reads exactly one reply on the current
+/// socket.
+fn attempt_request(io: &mut ConnIo, job: &Job, chunk: &mut [u8]) -> Result<Reply, AttemptError> {
+    let my_seq = io.seq;
+    let mut frame = BytesMut::new();
+    encode_command(&job.cmd, &mut frame);
+    if let Err(e) = io.writer.lock().unwrap().write_all(&frame) {
+        return Err(AttemptError::Retryable(TransportError::Io(e.to_string())));
+    }
+    io.seq += 1;
+    // From here the request is on the wire: exactly one reply will
+    // come back. A cancel now races ahead on the same socket. The
+    // `done` guard keeps a late cancel from writing a stale sequence
+    // number onto a *reconnected* socket: it must be re-checked
+    // *under the writer lock*, because `reconnect` both swaps the
+    // stream and resets the numbering under that lock — and `done` is
+    // always set before the attempt returns, so a callback that
+    // acquires the lock after a reconnect is guaranteed to see it.
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = done.clone();
+        let writer = io.writer.clone();
+        job.token.on_cancel(move || {
+            let mut w = writer.lock().unwrap();
+            if done.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut cancel_frame = BytesMut::new();
+            encode_command(&Command::Cancel(my_seq), &mut cancel_frame);
+            let _ = w.write_all(&cancel_frame);
+        });
+    }
+    // Read exactly one reply (blocking with periodic timeouts).
+    let reply = loop {
+        match decode_reply(&mut io.buf) {
+            Ok(Some(r)) => break Ok(r),
+            Ok(None) => {}
+            // Desync: surface the error; the caller reconnects before
+            // the next job.
+            Err(e) => break Err(AttemptError::Final(TransportError::Protocol(e.to_string()))),
+        }
+        match io.reader.read(chunk) {
+            Ok(0) => break Err(AttemptError::Retryable(TransportError::ConnectionClosed)),
+            Ok(n) => io.buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => break Err(AttemptError::Retryable(TransportError::Io(e.to_string()))),
+        }
+    };
+    done.store(true, Ordering::SeqCst);
+    match reply {
+        Ok(Reply::Error(e)) if e == CANCELLED_MARKER => {
+            Err(AttemptError::Final(TransportError::Cancelled))
+        }
+        Ok(r) => Ok(r),
+        Err(e) => Err(e),
+    }
+}
+
+/// Replaces the connection's socket with a freshly dialed one,
+/// resetting the reply buffer and the sequence counter (the server
+/// numbers each connection from zero).
+fn reconnect(addr: SocketAddr, io: &mut ConnIo) -> std::io::Result<()> {
+    let stream = connect_socket(addr)?;
+    *io.writer.lock().unwrap() = stream.try_clone()?;
+    io.reader = stream;
+    io.buf.clear();
+    io.seq = 0;
+    Ok(())
+}
+
+fn conn_loop(addr: SocketAddr, stream: TcpStream, writer: TcpStream, jobs: &mpsc::Receiver<Job>) {
+    let mut io = ConnIo {
+        reader: stream,
+        writer: Arc::new(Mutex::new(writer)),
+        buf: BytesMut::new(),
+        seq: 0,
+    };
+    let mut chunk = [0u8; 16 * 1024];
+    // Set when the socket is known broken, so the next job reconnects
+    // up front instead of burning its first attempt on a dead socket.
+    // The slot is never poisoned permanently: every job gets one fresh
+    // socket before its error is surfaced (a replica *restart* heals
+    // transparently; a replica that is still down fails fast).
+    let mut broken = false;
+
+    for job in jobs.iter() {
         // Cancelled while queued: never touches the wire.
         if job.token.is_cancelled() {
             let _ = job.reply.send(Err(TransportError::Cancelled));
             continue;
         }
-        let my_seq = seq;
-        seq += 1;
         let dispatched = std::time::Instant::now();
-        let mut frame = BytesMut::new();
-        encode_command(&job.cmd, &mut frame);
-        if let Err(e) = writer.lock().unwrap().write_all(&frame) {
-            let _ = job.reply.send(Err(TransportError::Io(e.to_string())));
-            return;
-        }
-        // From here the request is on the wire: exactly one reply will
-        // come back. A cancel now races ahead on the same socket.
-        let done = Arc::new(AtomicBool::new(false));
-        {
-            let done = done.clone();
-            let writer = writer.clone();
-            job.token.on_cancel(move || {
-                if done.load(Ordering::SeqCst) {
-                    return;
+        // One retry on a fresh socket: attempt 1 may run on the
+        // existing connection, attempt 2 only after a reconnect. A
+        // retried command may execute twice if the connection died
+        // after the server executed but before it replied — safe only
+        // for commands whose *reply* is unaffected by re-execution
+        // (`retry_safe`), so counting mutations surface the ambiguous
+        // failure to the caller instead.
+        let mut retried = false;
+        let outcome = loop {
+            if broken {
+                match reconnect(addr, &mut io) {
+                    Ok(()) => broken = false,
+                    Err(e) => break Err(TransportError::Io(e.to_string())),
                 }
-                let mut cancel_frame = BytesMut::new();
-                encode_command(&Command::Cancel(my_seq), &mut cancel_frame);
-                let _ = writer.lock().unwrap().write_all(&cancel_frame);
-            });
-        }
-        // Read exactly one reply (blocking with periodic timeouts).
-        let reply = loop {
-            match decode_reply(&mut buf) {
-                Ok(Some(r)) => break Ok(r),
-                Ok(None) => {}
-                Err(e) => break Err(TransportError::Protocol(e.to_string())),
+                retried = true;
             }
-            match stream.read(&mut chunk) {
-                Ok(0) => {
-                    done.store(true, Ordering::SeqCst);
-                    let _ = job.reply.send(Err(TransportError::ConnectionClosed));
-                    break 'jobs;
+            match attempt_request(&mut io, &job, &mut chunk) {
+                Ok(reply) => break Ok(reply),
+                Err(AttemptError::Final(e)) => {
+                    if matches!(e, TransportError::Protocol(_)) {
+                        // Desynced reply stream: dial fresh next job.
+                        broken = true;
+                    }
+                    break Err(e);
                 }
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut => {}
-                Err(e) => {
-                    done.store(true, Ordering::SeqCst);
-                    let _ = job.reply.send(Err(TransportError::Io(e.to_string())));
-                    break 'jobs;
+                Err(AttemptError::Retryable(e)) => {
+                    broken = true;
+                    // A cancelled loser must not be re-executed — and
+                    // the failure surfaces as the transport error, NOT
+                    // `Cancelled`: the server never confirmed a
+                    // retraction (the request may well have executed
+                    // before the connection died), so the caller must
+                    // not count it as a clean in-time cancel or derive
+                    // a censoring bound from it.
+                    if retried || job.token.is_cancelled() || !retry_safe(&job.cmd) {
+                        break Err(e);
+                    }
                 }
             }
-        };
-        done.store(true, Ordering::SeqCst);
-        let outcome = match reply {
-            Ok(Reply::Error(e)) if e == CANCELLED_MARKER => Err(TransportError::Cancelled),
-            other => other,
         };
         if std::env::var_os("HEDGE_DEBUG").is_some() {
             let took = dispatched.elapsed().as_secs_f64() * 1e3;
             if took > 10.0 {
                 eprintln!(
-                    "[conn {:?}] seq={my_seq} took {took:.2}ms cmd={:?} outcome={outcome:?}",
+                    "[conn {:?}] took {took:.2}ms cmd={:?} outcome={outcome:?}",
                     std::thread::current().name(),
                     job.cmd,
                 );
@@ -375,6 +483,59 @@ mod tests {
             assert_eq!(r, Reply::Str("1".into()));
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_broken_pipe() {
+        use kvstore::resp::{decode_command, encode_reply};
+
+        // A miniature replica that serves exactly one request per
+        // connection, then slams the socket shut — every follow-up
+        // request sees a broken pipe / EOF and must transparently
+        // retry on a fresh connection (which this server accepts).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut served = 0u32;
+            while served < 3 {
+                let Ok((mut s, _)) = listener.accept() else {
+                    break;
+                };
+                let mut buf = BytesMut::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    if let Ok(Some(cmd)) = decode_command(&mut buf) {
+                        assert_eq!(cmd, Command::Ping);
+                        let mut out = BytesMut::new();
+                        encode_reply(&Reply::Pong, &mut out);
+                        s.write_all(&out).unwrap();
+                        served += 1;
+                        break; // drop the socket: abrupt close
+                    }
+                    let n = s.read(&mut chunk).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        });
+
+        let replica = Replica::connect(addr, 1).unwrap();
+        let rt = Runtime::new(1);
+        // Three consecutive requests, each after the previous
+        // connection was killed server-side. Before reconnect support
+        // the second one poisoned the slot permanently.
+        for i in 0..3 {
+            let out = rt.block_on(replica.request(Command::Ping, CancelToken::new()));
+            assert_eq!(
+                out,
+                Ok(Reply::Pong),
+                "request {i} should heal via reconnect"
+            );
+        }
+        drop(replica);
+        server.join().unwrap();
     }
 
     #[test]

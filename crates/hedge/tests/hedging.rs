@@ -191,6 +191,7 @@ fn online_adapter_policy_stays_within_budget() {
                 window: 512,
                 reoptimize_every: 128,
                 learning_rate: 0.5,
+                min_pairs: 32,
             }),
             seed: 7,
             ..HedgeConfig::default()
@@ -218,6 +219,90 @@ fn online_adapter_policy_stays_within_budget() {
     assert!(
         rate <= budget + 0.01,
         "observed reissue rate {rate:.4} vs budget {budget} + 1%"
+    );
+}
+
+/// (2c) Raced hedges feed censored `(primary, reissue)` pairs to the
+/// online adapter, and the adapter switches to the §4.2 correlated
+/// optimizer once enough accumulate — end to end through real TCP
+/// sockets and tied-request cancellation.
+#[test]
+fn raced_hedges_feed_censored_pairs_to_adapter() {
+    let cfg = TcpServerConfig {
+        nanos_per_op: 2_000,
+    };
+    let servers = [
+        TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),
+        TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),
+    ];
+    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+
+    let client = HedgedClient::connect(
+        &addrs,
+        HedgeConfig {
+            // Aggressive fixed hedge until the adapter warms up, so
+            // races (and pairs) start from the first queries.
+            policy: ReissuePolicy::single_r(5.0, 1.0),
+            online: Some(OnlineConfig {
+                k: 0.90,
+                budget: 0.5,
+                window: 16,
+                reoptimize_every: 20,
+                learning_rate: 0.5,
+                min_pairs: 8,
+            }),
+            budget_cap: Some(1.0), // let every armed hedge fire
+            seed: 11,
+            ..HedgeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Head-of-line-block replica 0 with a monster intersection (~800 ms
+    // of service time) so queries whose primary lands there must be won
+    // by the reissue, and the retracted loser produces a *censored*
+    // pair.
+    use std::io::Write as _;
+    let mut side = std::net::TcpStream::connect(addrs[0]).unwrap();
+    let mut frame = bytes::BytesMut::new();
+    encode_command(
+        &Command::SInterCard("big1".into(), "big2".into()),
+        &mut frame,
+    );
+    side.write_all(&frame).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let it occupy replica 0
+
+    for _ in 0..40 {
+        let r = client
+            .execute_blocking(Command::SInterCard("evens".into(), "threes".into()))
+            .unwrap();
+        assert_eq!(r, Reply::Int(34));
+    }
+
+    // Loser drains resolve asynchronously; poll until pairs appear.
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    while std::time::Instant::now() < deadline {
+        let s = client.stats();
+        if s.pairs_censored >= 1 && client.online_correlated() == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = client.stats();
+    assert!(
+        stats.pairs_censored >= 1,
+        "retracted losers must produce censored pairs: {stats:?}"
+    );
+    assert_eq!(
+        client.online_correlated(),
+        Some(true),
+        "adapter should have switched to the correlated optimizer: {stats:?}"
+    );
+    let record = client.online_policy().expect("online adapter active");
+    assert!(record.delay.is_finite() && record.delay >= 0.0);
+    assert!(
+        record.budget_used <= 0.5 + 1e-9,
+        "adapter budget accounting must hold: {record:?}"
     );
 }
 

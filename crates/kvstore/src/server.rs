@@ -124,6 +124,17 @@ impl MiniServer {
         self.connections.len()
     }
 
+    /// Removes (and returns) the connection at `idx`; later indices
+    /// shift down, mirroring `Vec::remove`. Transports that drive
+    /// [`sweep_conn`](Self::sweep_conn) by index must remove their own
+    /// per-connection state at the same position to stay aligned.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn remove_connection(&mut self, idx: usize) -> Connection {
+        self.connections.remove(idx)
+    }
+
     /// Direct access to the store (loading datasets, assertions).
     pub fn store_mut(&mut self) -> &mut KvStore {
         &mut self.store

@@ -7,11 +7,22 @@
 //! replica. The run compares:
 //!
 //! 1. **Unhedged** — every query to one replica, no reissues.
-//! 2. **Hedged (online SingleR)** — `hedge::HedgedClient` with the
-//!    `OnlineAdapter` learning `(d, q)` live under the configured
-//!    reissue budget, cancelling losers tied-request style.
+//! 2. **Hedged, independence model** — `hedge::HedgedClient` with the
+//!    `OnlineAdapter` pinned to the §4.1 independent optimizer
+//!    (`min_pairs: usize::MAX`): the adapter never sees joint samples,
+//!    so it prices band hedges off the marginal reissue distribution.
+//! 3. **Hedged, correlated** — the same adapter fed censored
+//!    `(primary, reissue)` pairs from raced hedges, switching to the
+//!    §4.2 correlated optimizer once enough pairs accumulate. This is
+//!    the configuration that lets the adapter serve the *true* target
+//!    quantile (`k: 0.99`) instead of compensating with an artificially
+//!    deep one.
 //!
 //! Run with: `cargo run --release --example hedged_kv_cluster`
+//!
+//! `HEDGE_CLUSTER_QUERIES=<n>` shrinks the trace (CI smoke runs); the
+//! P99 assertions only apply at full scale, where the tail statistics
+//! are stable.
 
 use hedge::{HedgeConfig, HedgedClient, TcpServer, TcpServerConfig};
 use kvstore::dataset::{Dataset, DatasetConfig};
@@ -27,6 +38,10 @@ const REPLICAS: usize = 3;
 const WORKERS: usize = 4;
 const QUERIES: usize = 6_000;
 const BUDGET: f64 = 0.08;
+/// The true target quantile. The correlated adapter holds it directly;
+/// earlier revisions had to compensate for the independence model's
+/// noise-band overvaluation with an artificially deep `k = 0.995`.
+const TARGET_K: f64 = 0.99;
 const NANOS_PER_OP: u64 = 150;
 /// One in `MONSTER_EVERY` queries intersects the two huge sets below —
 /// §6.2's rare "query of death" (~500k probe ops ≈ 70 ms of service
@@ -37,6 +52,17 @@ const MONSTER_EVERY: usize = 500;
 /// Open-loop dispatch interval: ~0.8 ms between queries keeps baseline
 /// utilization near 25% of the 3-replica cluster's capacity.
 const INTERVAL_US: u64 = 800;
+
+fn online_config(min_pairs: usize) -> OnlineConfig {
+    OnlineConfig {
+        k: TARGET_K,
+        budget: BUDGET,
+        window: 1_000,
+        reoptimize_every: 250,
+        learning_rate: 0.5,
+        min_pairs,
+    }
+}
 
 fn spin_up_cluster(dataset: &Dataset) -> Vec<TcpServer> {
     let mut store = KvStore::new();
@@ -107,16 +133,50 @@ fn report(label: &str, client: &HedgedClient) -> f64 {
     let rate = stats.reissues as f64 / stats.queries.max(1) as f64;
     let slow = client.latencies_over(10.0);
     println!(
-        "  {label:<22} P50 {p50:8.2} ms   P90 {p90:8.2} ms   P99 {p99:8.2} ms   \
-         >10ms {slow}   reissue rate {:5.1}%   reissue wins {}   cancelled in time {}",
+        "  {label:<26} P50 {p50:8.2} ms   P90 {p90:8.2} ms   P99 {p99:8.2} ms   \
+         >10ms {slow}   reissue rate {:5.1}%   reissue wins {}   cancelled in time {}   \
+         pairs {}+{}c",
         100.0 * rate,
         stats.reissue_wins,
         stats.cancelled_in_time,
+        stats.pairs_exact,
+        stats.pairs_censored,
     );
     p99
 }
 
+/// Runs one hedged phase over a fresh cluster and returns
+/// `(client, p99)`.
+fn hedged_phase(
+    label: &str,
+    dataset: &Dataset,
+    pairs: &Arc<Vec<(usize, usize)>>,
+    min_pairs: usize,
+) -> (HedgedClient, f64) {
+    let servers = spin_up_cluster(dataset);
+    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+    let client = HedgedClient::connect(
+        &addrs,
+        HedgeConfig {
+            policy: ReissuePolicy::None, // adapter takes over once warm
+            online: Some(online_config(min_pairs)),
+            workers: WORKERS,
+            ..HedgeConfig::default()
+        },
+    )
+    .expect("connect hedged client");
+    run_phase(&client, pairs.clone());
+    let p99 = report(label, &client);
+    (client, p99)
+}
+
 fn main() {
+    let queries: usize = std::env::var("HEDGE_CLUSTER_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(QUERIES);
+    let full_scale = queries >= QUERIES;
+
     // A mid-scale instance of the paper's dataset with a mild
     // cardinality spread; the heavy tail comes from the explicitly
     // injected queries of death (see `MONSTER_EVERY`).
@@ -130,7 +190,7 @@ fn main() {
     let trace = Trace::generate(
         &dataset,
         WorkloadConfig {
-            num_queries: QUERIES,
+            num_queries: queries,
             ns_per_op: NANOS_PER_OP as f64,
             seed: 0xbeef,
         },
@@ -138,10 +198,12 @@ fn main() {
     let pairs = Arc::new(trace.pairs.clone());
     println!(
         "dataset: {} sets + 2 monster sets, trace: {} queries \
-         ({} queries of death)",
+         ({} queries of death), target P{:.0} within a {:.0}% budget",
         dataset.sets.len(),
         trace.pairs.len(),
-        QUERIES / MONSTER_EVERY,
+        queries / MONSTER_EVERY,
+        100.0 * TARGET_K,
+        100.0 * BUDGET,
     );
 
     // ── Phase 1: no hedging ────────────────────────────────────────
@@ -163,33 +225,25 @@ fn main() {
     drop(unhedged);
     drop(servers);
 
-    // ── Phase 2: hedged, online-adapted SingleR ────────────────────
-    let servers = spin_up_cluster(&dataset);
-    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
-    let hedged = HedgedClient::connect(
-        &addrs,
-        HedgeConfig {
-            policy: ReissuePolicy::None, // adapter takes over once warm
-            online: Some(OnlineConfig {
-                k: 0.995,
-                budget: BUDGET,
-                window: 1_000,
-                reoptimize_every: 250,
-                learning_rate: 0.5,
-            }),
-            workers: WORKERS,
-            ..HedgeConfig::default()
-        },
-    )
-    .expect("connect hedged client");
-    run_phase(&hedged, pairs.clone());
-    let p99_hedged = report("hedged (online SingleR)", &hedged);
+    // ── Phase 2: hedged, independence-model SingleR (A) ────────────
+    let (ind, p99_ind) = hedged_phase(
+        "hedged (independent)",
+        &dataset,
+        &pairs,
+        usize::MAX, // pin to the §4.1 optimizer: never enough pairs
+    );
+    let d_ind = ind.online_policy().expect("online adapter active").delay;
+    assert_eq!(ind.online_correlated(), Some(false));
+    drop(ind);
 
+    // ── Phase 3: hedged, correlated SingleR from censored pairs (B) ─
+    let (hedged, p99_hedged) = hedged_phase("hedged (correlated)", &dataset, &pairs, 48);
     let final_policy = hedged.policy();
     let record = hedged.online_policy().expect("online adapter active");
     println!(
-        "  final policy {final_policy}  (expected budget use {:.3} ≤ {BUDGET})",
-        record.budget_used,
+        "  final correlated policy {final_policy}  (expected budget use {:.3} ≤ {BUDGET}); \
+         independent A/B chose d = {d_ind:.2} ms vs correlated d = {:.2} ms",
+        record.budget_used, record.delay,
     );
 
     // Budget adherence, on both layers: the adapter's own `(d, q)`
@@ -208,12 +262,31 @@ fn main() {
         "realized reissue rate {realized:.3} exceeded the governor cap"
     );
     assert!(
-        p99_hedged < p99_unhedged,
-        "hedged P99 {p99_hedged:.2} ms should beat unhedged {p99_unhedged:.2} ms"
+        stats.pairs_exact + stats.pairs_censored > 0,
+        "raced hedges must produce (primary, reissue) pairs"
     );
-    println!(
-        "hedged P99 beats unhedged: {p99_hedged:.2} ms < {p99_unhedged:.2} ms \
-         ({:.1}x reduction)",
-        p99_unhedged / p99_hedged
-    );
+    if full_scale {
+        assert_eq!(
+            hedged.online_correlated(),
+            Some(true),
+            "correlated optimizer should engage at full scale"
+        );
+        assert!(
+            p99_hedged < p99_unhedged,
+            "hedged P99 {p99_hedged:.2} ms should beat unhedged {p99_unhedged:.2} ms"
+        );
+        println!(
+            "hedged P99 beats unhedged at the true target P{:.0}: \
+             {p99_hedged:.2} ms < {p99_unhedged:.2} ms ({:.1}x reduction; \
+             independent-model phase: {p99_ind:.2} ms)",
+            100.0 * TARGET_K,
+            p99_unhedged / p99_hedged
+        );
+    } else {
+        println!(
+            "smoke run ({queries} queries): skipping tail assertions \
+             (unhedged {p99_unhedged:.2} ms, independent {p99_ind:.2} ms, \
+             correlated {p99_hedged:.2} ms)"
+        );
+    }
 }

@@ -18,6 +18,7 @@ fn main() {
         window: 4_000,
         reoptimize_every: 1_000,
         learning_rate: 0.5,
+        ..OnlineConfig::default()
     });
     let mut rng = seeded(2024);
 

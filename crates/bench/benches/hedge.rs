@@ -1,6 +1,6 @@
 //! Benchmarks for the speculative-execution runtime: `None` vs
-//! `SingleD` vs online-adapted `SingleR`, end to end through real TCP
-//! kvstore replicas.
+//! `SingleD` vs two-stage `DoubleR` vs online-adapted `SingleR`, end
+//! to end through real TCP kvstore replicas.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hedge::{HedgeConfig, HedgedClient, TcpServer, TcpServerConfig};
@@ -60,6 +60,20 @@ fn bench_single_d(c: &mut Criterion) {
         "policy_single_d_2ms",
         HedgeConfig {
             policy: ReissuePolicy::single_d(2.0),
+            ..HedgeConfig::default()
+        },
+    );
+}
+
+fn bench_double_r(c: &mut Criterion) {
+    // A two-stage MultipleR schedule through the staged-race path:
+    // measures the per-query cost of arming multiple deadline timers
+    // and the N-way select against the single-timer SingleD baseline.
+    bench_policy(
+        c,
+        "policy_double_r_2ms_6ms",
+        HedgeConfig {
+            policy: ReissuePolicy::double_r(2.0, 0.5, 6.0, 1.0),
             ..HedgeConfig::default()
         },
     );
@@ -129,7 +143,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_none, bench_single_d, bench_online_single_r,
+    targets = bench_none, bench_single_d, bench_double_r, bench_online_single_r,
         bench_online_single_r_correlated, bench_transport_roundtrip
 }
 criterion_main!(benches);

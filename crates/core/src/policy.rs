@@ -158,11 +158,23 @@ impl ReissuePolicy {
     /// completion status, and it lets the simulator schedule timer
     /// events at arrival.
     pub fn sample_schedule(&self, rng: &mut SmallRng) -> Vec<f64> {
+        self.sample_schedule_indexed(rng)
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    /// Like [`sample_schedule`](Self::sample_schedule), but each
+    /// scheduled delay is tagged with its *stage index* in
+    /// [`stages`](Self::stages) order — what a runtime needs to account
+    /// reissues per stage (a lost coin toss leaves a hole in the
+    /// sequence, so positions alone cannot identify the stage).
+    pub fn sample_schedule_indexed(&self, rng: &mut SmallRng) -> Vec<(usize, f64)> {
         let stages = self.stages();
         let mut out = Vec::with_capacity(stages.len());
-        for s in stages {
+        for (i, s) in stages.into_iter().enumerate() {
             if s.prob >= 1.0 || (s.prob > 0.0 && rng.gen::<f64>() < s.prob) {
-                out.push(s.delay);
+                out.push((i, s.delay));
             }
         }
         out
@@ -263,6 +275,42 @@ mod tests {
         let mut r = rng();
         let sched = p.sample_schedule(&mut r);
         assert_eq!(sched, vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn indexed_schedule_tags_surviving_stages() {
+        // Middle stage can never fire (q = 0): the indexed schedule
+        // must report stage indices 0 and 2, not 0 and 1.
+        let p = ReissuePolicy::multiple_r(vec![(1.0, 1.0), (2.0, 0.0), (5.0, 1.0)]);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(p.sample_schedule_indexed(&mut r), vec![(0, 1.0), (2, 5.0)]);
+        }
+    }
+
+    #[test]
+    fn indexed_schedule_per_stage_rates() {
+        // Each stage flips its own independent coin: empirical fire
+        // rates must match q per stage. 50k trials give a binomial
+        // σ ≈ 0.002 at q = 0.7, so ±0.015 is a ~7σ band — tight enough
+        // to catch a swapped or shared coin, loose enough to never
+        // flake on the pinned seed.
+        let p = ReissuePolicy::multiple_r(vec![(1.0, 0.3), (4.0, 0.7)]);
+        let mut r = rng();
+        let n = 50_000;
+        let mut hits = [0usize; 2];
+        for _ in 0..n {
+            for (idx, _) in p.sample_schedule_indexed(&mut r) {
+                hits[idx] += 1;
+            }
+        }
+        for (idx, q) in [(0usize, 0.3), (1, 0.7)] {
+            let rate = hits[idx] as f64 / n as f64;
+            assert!(
+                (rate - q).abs() < 0.015,
+                "stage {idx}: rate {rate} vs q {q}"
+            );
+        }
     }
 
     #[test]

@@ -4,45 +4,64 @@
 //! Per query the client:
 //!
 //! 1. dispatches the **primary** to the next replica (round-robin);
-//! 2. samples the policy's reissue schedule — for SingleR, a coin with
-//!    probability `q` decides *now* whether a reissue is armed at
-//!    delay `d` (distributionally identical to flipping at fire time,
-//!    see [`ReissuePolicy::sample_schedule`]);
-//! 3. races the primary against the armed timer; if the timer fires
-//!    first, dispatches the **reissue** to a different replica;
-//! 4. returns the first reply and cancels the loser via its
+//! 2. samples the policy's full reissue schedule — every stage of a
+//!    `MultipleR` policy flips its probability coin *now*
+//!    (distributionally identical to flipping at fire time, see
+//!    [`ReissuePolicy::sample_schedule_indexed`]), yielding the
+//!    non-decreasing stage deadlines `(d₁,q₁), …, (dₙ,qₙ)` this query
+//!    will arm;
+//! 3. races every in-flight attempt against the next stage's deadline
+//!    timer ([`crate::rt::select_all`]); each time a timer fires (and
+//!    the budget governor grants quota) one more **reissue** is
+//!    dispatched, targeted at the healthiest replica not yet carrying
+//!    this query (per-replica latency/error EWMA — see
+//!    [`crate::transport::ReplicaHealth`]);
+//! 4. returns the first reply and cancels every loser via its
 //!    [`CancelToken`] — the transport pushes `CANCEL <seq>` to the
 //!    backend, which retracts the queued frame if it has not executed
 //!    (tied requests);
 //! 5. feeds observations into the [`OnlineAdapter`], which
 //!    re-optimizes `(d, q)` every `reoptimize_every` completions while
 //!    the system serves. Un-raced queries feed the primary stream;
-//!    **raced hedges feed joint `(primary, reissue)` pairs** — exact
-//!    when the loser completed, censored at the loser's
-//!    elapsed-at-retraction lower bound when the cancel landed in time
-//!    — so the adapter can run the §4.2 *correlated* optimizer instead
-//!    of the independence model (see `reissue_core::online`).
+//!    **raced hedges feed joint `(primary, first-stage reissue)`
+//!    pairs** — exact when the loser completed, censored at the
+//!    loser's elapsed-at-retraction lower bound when the cancel landed
+//!    in time — so the adapter can run the §4.2 *correlated* optimizer
+//!    instead of the independence model (see `reissue_core::online`).
+//!    Later-stage losers feed the marginal reissue stream when they
+//!    complete.
 
-use crate::rt::{race, Either, Runtime};
+use crate::rt::{race, select_all, Either, Runtime};
 use crate::sync::CancelToken;
 use crate::transport::{ReplicaSet, TransportError};
 
 use kvstore::{Command, Reply};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use reissue_core::censored::Obs;
 use reissue_core::online::{OnlineAdapter, OnlineConfig, ReissueOutcome};
 use reissue_core::policy::ReissuePolicy;
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Number of per-stage reissue counter buckets in [`HedgeStats`];
+/// stages at or past the last bucket share it. Eight stages is far
+/// beyond any useful schedule (Thm 3.2: one stage already suffices at
+/// the optimum), so in practice every stage gets its own bucket.
+pub const MAX_STAGES: usize = 8;
+
 /// Configuration for [`HedgedClient`].
 #[derive(Clone, Debug)]
 pub struct HedgeConfig {
-    /// The starting policy (used as-is when `online` is `None`).
+    /// The starting policy (used as-is when `online` is `None`). All
+    /// families execute natively: `None`, `SingleD`, `SingleR`, and
+    /// multi-stage `MultipleR` schedules — stage `i` arms a timer at
+    /// `dᵢ` (measured from the primary dispatch) that, if the query is
+    /// still outstanding, dispatches one reissue with probability `qᵢ`.
     pub policy: ReissuePolicy,
     /// When set, an [`OnlineAdapter`] re-optimizes `(d, q)` from
     /// observed latencies while serving, overriding `policy` once
@@ -59,6 +78,20 @@ pub struct HedgeConfig {
     /// on — a governor pinned exactly at the steady-state demand
     /// denies hedges first-come-first-served, which starves precisely
     /// the stragglers that arrive in bursts behind a query of death.
+    ///
+    /// **Interaction with `MultipleR`:** the cap counts *total*
+    /// reissues across all stages — a 3-stage schedule can spend up to
+    /// 3 units of quota on one query, so the governor compares
+    /// `Σᵢ (stage-i dispatches)` against `cap × queries`. The policy's
+    /// own expected spend is `Σᵢ qᵢ·P(T > dᵢ)` (Equation 4: a stage
+    /// whose deadline the query never reaches consumes nothing), which
+    /// is what the optimizer holds at the budget; the governor only
+    /// clips realized bursts. When a stage's timer fires without
+    /// quota, that stage *re-asks* one stage-delay later rather than
+    /// silently dropping — a query still outstanding after several
+    /// delays is precisely the straggler hedging exists for — and
+    /// later stages queue behind it, preserving the schedule's
+    /// dispatch order.
     pub budget_cap: Option<f64>,
     /// TCP connections per replica.
     pub pool_per_replica: usize,
@@ -86,22 +119,29 @@ impl Default for HedgeConfig {
 pub struct HedgeStats {
     /// Queries completed.
     pub queries: u64,
-    /// Reissues actually dispatched (the timer fired and the coin had
-    /// come up heads).
+    /// Reissues actually dispatched across all stages (a timer fired,
+    /// the stage's coin had come up heads, and the governor granted
+    /// quota).
     pub reissues: u64,
-    /// Queries won by the reissue rather than the primary.
+    /// Dispatched reissues broken down by policy stage index (stages
+    /// `>= MAX_STAGES - 1` share the last bucket). Sums to `reissues`.
+    pub reissues_by_stage: [u64; MAX_STAGES],
+    /// Queries won by a reissue (any stage) rather than the primary.
     pub reissue_wins: u64,
     /// Loser requests whose cancellation reached the backend in time
     /// (retracted before execution).
     pub cancelled_in_time: u64,
     /// Raced hedges that produced an exact `(primary, reissue)` pair
-    /// for the adapter (the loser completed).
+    /// for the adapter (both sides completed).
     pub pairs_exact: u64,
-    /// Raced hedges that produced a censored pair (the loser was
+    /// Raced hedges that produced a censored pair (one side was
     /// retracted in time; only its elapsed-at-cancel lower bound is
     /// known).
     pub pairs_censored: u64,
-    /// Transport errors observed (winner path only).
+    /// Queries that failed outright — every attempt (primary and all
+    /// dispatched reissues) resolved with a transport error and no
+    /// stage quota remained. A single attempt's failure never counts
+    /// here while another attempt can still save the query.
     pub errors: u64,
 }
 
@@ -114,11 +154,15 @@ struct PolicyState {
 struct Counters {
     queries: AtomicU64,
     reissues: AtomicU64,
+    reissues_by_stage: [AtomicU64; MAX_STAGES],
     reissue_wins: AtomicU64,
     cancelled_in_time: AtomicU64,
     pairs_exact: AtomicU64,
     pairs_censored: AtomicU64,
     errors: AtomicU64,
+    /// Reissue dispatches per replica index — the targeting
+    /// distribution the EWMA-health regression tests watch.
+    reissue_targets: Vec<AtomicU64>,
 }
 
 /// Sliding window of the most recent query latencies: bounded memory
@@ -176,11 +220,13 @@ impl HedgedClient {
                 counters: Counters {
                     queries: AtomicU64::new(0),
                     reissues: AtomicU64::new(0),
+                    reissues_by_stage: std::array::from_fn(|_| AtomicU64::new(0)),
                     reissue_wins: AtomicU64::new(0),
                     cancelled_in_time: AtomicU64::new(0),
                     pairs_exact: AtomicU64::new(0),
                     pairs_censored: AtomicU64::new(0),
                     errors: AtomicU64::new(0),
+                    reissue_targets: (0..addrs.len()).map(|_| AtomicU64::new(0)).collect(),
                 },
                 latencies_ms: Mutex::new(LatencyRing {
                     samples: Vec::new(),
@@ -214,12 +260,33 @@ impl HedgedClient {
         HedgeStats {
             queries: c.queries.load(Ordering::Relaxed),
             reissues: c.reissues.load(Ordering::Relaxed),
+            reissues_by_stage: std::array::from_fn(|i| {
+                c.reissues_by_stage[i].load(Ordering::Relaxed)
+            }),
             reissue_wins: c.reissue_wins.load(Ordering::Relaxed),
             cancelled_in_time: c.cancelled_in_time.load(Ordering::Relaxed),
             pairs_exact: c.pairs_exact.load(Ordering::Relaxed),
             pairs_censored: c.pairs_censored.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Reissue dispatches per replica index — the live targeting
+    /// distribution (see `ReplicaSet::pick_reissue_excluding`).
+    pub fn reissue_target_counts(&self) -> Vec<u64> {
+        self.inner
+            .counters
+            .reissue_targets
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The health EWMAs for replica `idx`: `(latency_ewma_ms,
+    /// error_ewma)`.
+    pub fn replica_health(&self, idx: usize) -> (f64, f64) {
+        let h = self.inner.replicas.replica(idx).health();
+        (h.latency_ewma_ms(), h.error_ewma())
     }
 
     /// Whether the online adapter's most recent re-optimization used
@@ -266,17 +333,16 @@ impl HedgedClient {
     ) -> impl std::future::Future<Output = Result<Reply, TransportError>> + Send + 'static {
         let inner = self.inner.clone();
         async move {
-            // Sample the primary and the reissue schedule up-front;
-            // the reissue *target* is chosen at fire time, when load
-            // information is current.
+            // Sample the primary and the full reissue schedule
+            // up-front (every stage coin is independent of completion
+            // status, so flipping now is distributionally identical);
+            // each stage's *target* is chosen at fire time, when
+            // health information is current.
             let primary_idx = inner.replicas.pick_primary();
-            let schedule: Option<Duration> = {
+            let schedule: Vec<(usize, f64)> = {
                 let mut st = inner.state.lock().unwrap();
-                let stages = st.policy.stages();
-                stages.first().and_then(|s| {
-                    let fire = s.prob >= 1.0 || (s.prob > 0.0 && st.rng.gen::<f64>() < s.prob);
-                    fire.then(|| Duration::from_secs_f64(s.delay.max(0.0) / 1e3))
-                })
+                let st = &mut *st;
+                st.policy.sample_schedule_indexed(&mut st.rng)
             };
 
             let started = Instant::now();
@@ -286,73 +352,20 @@ impl HedgedClient {
                 .replica(primary_idx)
                 .request(cmd.clone(), primary_token.clone());
 
-            let outcome = match schedule {
-                None => primary.await.map(|r| (r, false, false)),
-                Some(delay) => {
-                    // Arm the SingleR timer. If the budget governor has
-                    // no quota when it fires, re-arm and ask again each
-                    // interval: a query still outstanding after several
-                    // delays is precisely the straggler hedging exists
-                    // for, and re-asking gives it priority over the
-                    // steady trickle of marginal just-past-d hedges
-                    // that would otherwise consume the quota
-                    // first-come-first-served.
-                    let mut primary = primary;
-                    loop {
-                        match race(primary, inner.rt.sleep(delay)).await {
-                            // Primary finished: no reissue needed.
-                            Either::Left((reply, _timer)) => {
-                                break reply.map(|r| (r, false, false));
-                            }
-                            Either::Right((p, ())) if !inner.governor_allows() => {
-                                primary = p; // re-arm and re-ask
-                            }
-                            // Timer fired with quota available: send
-                            // the reissue and race the two requests.
-                            Either::Right((p, ())) => {
-                                inner.counters.reissues.fetch_add(1, Ordering::Relaxed);
-                                let reissue_idx = inner.replicas.pick_reissue(primary_idx);
-                                let reissue_token = CancelToken::new();
-                                let reissue = inner
-                                    .replicas
-                                    .replica(reissue_idx)
-                                    .request(cmd.clone(), reissue_token.clone());
-                                let reissue_started = Instant::now();
-                                // Raced hedges are observed as joint
-                                // (primary, reissue) pairs once the
-                                // loser's fate is known — see
-                                // `drain_loser`.
-                                break match race(p, reissue).await {
-                                    Either::Left((reply, loser)) => {
-                                        reissue_token.cancel();
-                                        let primary_ms = started.elapsed().as_secs_f64() * 1e3;
-                                        inner.clone().drain_loser(
-                                            loser,
-                                            reissue_started,
-                                            LoserKind::Reissue { primary_ms },
-                                        );
-                                        reply.map(|r| (r, false, true))
-                                    }
-                                    Either::Right((loser, reply)) => {
-                                        primary_token.cancel();
-                                        inner.counters.reissue_wins.fetch_add(1, Ordering::Relaxed);
-                                        // The winning reissue's own
-                                        // response time, from *its*
-                                        // dispatch.
-                                        let reissue_ms =
-                                            reissue_started.elapsed().as_secs_f64() * 1e3;
-                                        inner.clone().drain_loser(
-                                            loser,
-                                            started,
-                                            LoserKind::Primary { reissue_ms },
-                                        );
-                                        reply.map(|r| (r, true, true))
-                                    }
-                                };
-                            }
-                        }
-                    }
-                }
+            let outcome = if schedule.is_empty() {
+                primary.await.map(|r| (r, false))
+            } else {
+                inner
+                    .clone()
+                    .staged_race(
+                        &cmd,
+                        primary,
+                        primary_token,
+                        primary_idx,
+                        started,
+                        &schedule,
+                    )
+                    .await
             };
 
             let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -363,16 +376,16 @@ impl HedgedClient {
             }
             inner.counters.queries.fetch_add(1, Ordering::Relaxed);
             match outcome {
-                Ok((reply, _won_by_reissue, raced)) => {
+                Ok((reply, raced)) => {
                     inner.latencies_ms.lock().unwrap().push(elapsed_ms);
                     // Un-raced completions feed the primary stream
                     // directly. Raced hedges are *not* observed here:
                     // their joint (primary, reissue) outcome — exact or
-                    // censored — is assembled by `drain_loser` once the
-                    // loser resolves, so the adapter sees correlated
-                    // pairs instead of two unpaired streams. Retracted
-                    // losers arrive as censored bounds rather than
-                    // being dropped, so the straggler mass that
+                    // censored — is assembled by the `RaceBook` once
+                    // both participants resolve, so the adapter sees
+                    // correlated pairs instead of two unpaired streams.
+                    // Retracted losers arrive as censored bounds rather
+                    // than being dropped, so the straggler mass that
                     // cancellation used to hide from the optimizer now
                     // reaches it through the Kaplan–Meier completion.
                     if !raced {
@@ -406,11 +419,41 @@ enum Observation {
     },
 }
 
-enum LoserKind {
-    /// The primary lost; the winning reissue took `reissue_ms`.
-    Primary { reissue_ms: f64 },
-    /// The reissue lost; the winning primary took `primary_ms`.
-    Reissue { primary_ms: f64 },
+/// One speculative arm of a staged race.
+struct AttemptMeta {
+    token: CancelToken,
+    dispatched: Instant,
+    kind: AttemptKind,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AttemptKind {
+    Primary,
+    /// `dispatch_order` counts dispatched reissues (0 = first actually
+    /// sent), independent of policy stage index: coins and the
+    /// governor may skip stages, and the adapter's pair is always
+    /// (primary, *first dispatched* reissue).
+    Reissue {
+        dispatch_order: usize,
+    },
+}
+
+/// Fate of one pair participant, as it becomes known.
+#[derive(Clone, Copy)]
+enum SideState {
+    Pending,
+    Known(Obs),
+    /// Transport failure: no usable observation from this side.
+    Failed,
+}
+
+/// Assembles the adapter's joint `(primary, first reissue)`
+/// observation from sides that resolve at different times — the winner
+/// synchronously, each loser whenever its drain completes. Whichever
+/// report fills the second slot emits the observation.
+struct RaceBook {
+    primary: SideState,
+    reissue: SideState,
 }
 
 impl HcInner {
@@ -452,8 +495,12 @@ impl HcInner {
                 (Obs::Censored(lb), Obs::Exact(y)) => {
                     adapter.observe_pair_censored_primary(lb, y);
                 }
-                // Both sides censored cannot happen: the winner always
-                // completes.
+                // Both sides censored (a later-stage reissue won the
+                // race, so the primary *and* the first reissue were
+                // both retracted): two lower bounds with no completed
+                // side to anchor them carry nothing the KM completion
+                // can use, so the pair is dropped (see `report_side`,
+                // which doesn't count it either).
                 (Obs::Censored(_), Obs::Censored(_)) => {}
             },
         }
@@ -463,62 +510,322 @@ impl HcInner {
         }
     }
 
-    /// Asynchronously drains a losing request and assembles the race's
-    /// joint `(primary, reissue)` observation for the adapter:
+    /// Races the primary against a full MultipleR schedule: each stage
+    /// deadline (measured from the primary dispatch) that fires while
+    /// the query is outstanding dispatches one more reissue — governor
+    /// permitting — and every attempt races every other through one
+    /// [`select_all`]. The first *successful* completion wins; all
+    /// still-pending losers are cancelled and drained asynchronously.
     ///
-    /// * loser **completed** → exact pair (its response time is a valid
-    ///   sample of its stream, now paired with the winner's);
-    /// * loser **retracted in time** → censored pair: all we know is
-    ///   the loser had been outstanding for `dispatched.elapsed()` when
-    ///   the retraction confirmed, a lower bound on the response time
-    ///   it would have had;
-    /// * loser failed at the transport → no pair; the winner's side
-    ///   feeds its marginal stream alone.
-    fn drain_loser(
+    /// An attempt that resolves with a transport error does **not**
+    /// decide the race — hedging must never fail a query another
+    /// in-flight (or still-armed) attempt could save, and a crashed
+    /// replica fails *fast*, which would otherwise make it the
+    /// likeliest "winner". The failed attempt just drops out; its
+    /// error surfaces only once every attempt and every remaining
+    /// stage is exhausted.
+    ///
+    /// Returns `(reply, raced)` where `raced` records whether any
+    /// reissue was actually dispatched.
+    async fn staged_race(
+        self: Arc<Self>,
+        cmd: &Command,
+        primary: crate::transport::InFlight,
+        primary_token: CancelToken,
+        primary_idx: usize,
+        started: Instant,
+        schedule: &[(usize, f64)],
+    ) -> Result<(Reply, bool), TransportError> {
+        let mut futs = vec![primary];
+        let mut meta = vec![AttemptMeta {
+            token: primary_token,
+            dispatched: started,
+            kind: AttemptKind::Primary,
+        }];
+        // (stage index, delay ms, deadline). FIFO: a stage denied by
+        // the governor re-asks later and blocks the stages behind it,
+        // so dispatch order always follows stage order.
+        let mut pending: VecDeque<(usize, f64, Instant)> = schedule
+            .iter()
+            .map(|&(stage, delay_ms)| {
+                (
+                    stage,
+                    delay_ms,
+                    started + Duration::from_secs_f64(delay_ms.max(0.0) / 1e3),
+                )
+            })
+            .collect();
+        let mut targets = vec![primary_idx];
+        let mut dispatched_reissues = 0usize;
+        // Attempts that resolved with a transport error mid-race; pair
+        // participants among them report `Failed` to the book below.
+        let mut failed_kinds: Vec<AttemptKind> = Vec::new();
+        let mut last_err = TransportError::ConnectionClosed;
+
+        let (win_idx, reply, losers) = loop {
+            if futs.is_empty() {
+                // Every dispatched attempt has failed. Rescue from the
+                // remaining schedule *now* — waiting out a stage
+                // deadline only adds latency to a query that already
+                // has nothing in flight — or give up when the stages
+                // (or the governor's quota) run out.
+                let Some(&(stage, _, _)) = pending.front() else {
+                    return Err(last_err);
+                };
+                if !self.governor_allows() {
+                    return Err(last_err);
+                }
+                pending.pop_front();
+                self.dispatch_stage(
+                    cmd,
+                    stage,
+                    &mut targets,
+                    &mut dispatched_reissues,
+                    &mut futs,
+                    &mut meta,
+                );
+                continue;
+            }
+            let (i, out, rest) = if let Some(&(stage, delay_ms, deadline)) = pending.front() {
+                match race(select_all(futs), self.rt.sleep_until(deadline)).await {
+                    Either::Left((sel_out, _timer)) => sel_out,
+                    Either::Right((sel, ())) => {
+                        futs = sel.into_futures();
+                        if !self.governor_allows() {
+                            // No quota: re-ask one stage-delay later
+                            // (with a small floor so a d=0 stage cannot
+                            // hot-spin). A query still outstanding
+                            // after several delays is precisely the
+                            // straggler hedging exists for, and
+                            // re-asking gives it priority over the
+                            // steady trickle of marginal just-past-d
+                            // hedges that would otherwise consume the
+                            // quota first-come-first-served.
+                            let interval = Duration::from_secs_f64(delay_ms.max(0.1) / 1e3);
+                            pending.front_mut().expect("stage present").2 =
+                                Instant::now() + interval;
+                            continue;
+                        }
+                        pending.pop_front();
+                        self.dispatch_stage(
+                            cmd,
+                            stage,
+                            &mut targets,
+                            &mut dispatched_reissues,
+                            &mut futs,
+                            &mut meta,
+                        );
+                        continue;
+                    }
+                }
+            } else {
+                // Schedule exhausted: plain race of what is in flight.
+                select_all(futs).await
+            };
+            match out {
+                Ok(reply) => break (i, reply, rest),
+                Err(e) => {
+                    // Drop the failed attempt from the race and keep
+                    // the survivors (and the schedule) going.
+                    failed_kinds.push(meta.remove(i).kind);
+                    last_err = e;
+                    futs = rest;
+                }
+            }
+        };
+
+        let raced = dispatched_reissues > 0;
+        let winner = meta.remove(win_idx); // `losers` aligns with `meta` now
+        if matches!(winner.kind, AttemptKind::Reissue { .. }) {
+            self.counters.reissue_wins.fetch_add(1, Ordering::Relaxed);
+        }
+        for m in &meta {
+            m.token.cancel();
+        }
+
+        if raced {
+            let book = Arc::new(Mutex::new(RaceBook {
+                primary: SideState::Pending,
+                reissue: SideState::Pending,
+            }));
+            // The winner's side is known right now; losers report as
+            // their drains resolve and mid-race failures report
+            // `Failed` immediately. A winner that is a *later-stage*
+            // reissue is outside the pair — both pair sides then
+            // arrive via the other two routes.
+            let win_ms = winner.dispatched.elapsed().as_secs_f64() * 1e3;
+            match winner.kind {
+                AttemptKind::Primary => {
+                    self.report_side(&book, true, SideState::Known(Obs::Exact(win_ms)));
+                }
+                AttemptKind::Reissue { dispatch_order: 0 } => {
+                    self.report_side(&book, false, SideState::Known(Obs::Exact(win_ms)));
+                }
+                AttemptKind::Reissue { .. } => {}
+            }
+            for kind in failed_kinds {
+                match kind {
+                    AttemptKind::Primary => self.report_side(&book, true, SideState::Failed),
+                    AttemptKind::Reissue { dispatch_order: 0 } => {
+                        self.report_side(&book, false, SideState::Failed);
+                    }
+                    AttemptKind::Reissue { .. } => {}
+                }
+            }
+            for (fut, m) in losers.into_iter().zip(meta) {
+                match m.kind {
+                    AttemptKind::Primary => {
+                        self.clone()
+                            .drain_into_book(fut, m.dispatched, book.clone(), true);
+                    }
+                    AttemptKind::Reissue { dispatch_order: 0 } => {
+                        self.clone()
+                            .drain_into_book(fut, m.dispatched, book.clone(), false);
+                    }
+                    AttemptKind::Reissue { .. } => {
+                        self.clone().drain_marginal(fut, m.dispatched);
+                    }
+                }
+            }
+        }
+        Ok((reply, raced))
+    }
+
+    /// Dispatches one stage's reissue into an ongoing race: counts it
+    /// (total, per-stage, per-target), targets the healthiest replica
+    /// not already carrying this query, and registers the attempt.
+    fn dispatch_stage(
+        &self,
+        cmd: &Command,
+        stage: usize,
+        targets: &mut Vec<usize>,
+        dispatched_reissues: &mut usize,
+        futs: &mut Vec<crate::transport::InFlight>,
+        meta: &mut Vec<AttemptMeta>,
+    ) {
+        self.counters.reissues.fetch_add(1, Ordering::Relaxed);
+        self.counters.reissues_by_stage[stage.min(MAX_STAGES - 1)].fetch_add(1, Ordering::Relaxed);
+        let idx = self.replicas.pick_reissue_excluding(targets);
+        targets.push(idx);
+        if let Some(c) = self.counters.reissue_targets.get(idx) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        let token = CancelToken::new();
+        futs.push(
+            self.replicas
+                .replica(idx)
+                .request(cmd.clone(), token.clone()),
+        );
+        meta.push(AttemptMeta {
+            token,
+            dispatched: Instant::now(),
+            kind: AttemptKind::Reissue {
+                dispatch_order: *dispatched_reissues,
+            },
+        });
+        *dispatched_reissues += 1;
+    }
+
+    /// Asynchronously drains a pair participant that lost its race and
+    /// reports its fate to the [`RaceBook`]:
+    ///
+    /// * loser **completed** → exact observation (its response time is
+    ///   a valid sample of its stream, now paired with the other
+    ///   side's);
+    /// * loser **retracted in time** → censored: all we know is it had
+    ///   been outstanding for `dispatched.elapsed()` when the
+    ///   retraction confirmed, a lower bound on the response time it
+    ///   would have had;
+    /// * loser failed at the transport → no usable observation; the
+    ///   other side feeds its marginal stream alone.
+    fn drain_into_book(
         self: Arc<Self>,
         loser: crate::transport::InFlight,
         dispatched: Instant,
-        kind: LoserKind,
+        book: Arc<Mutex<RaceBook>>,
+        is_primary: bool,
     ) {
         let rt = self.rt.clone();
         rt.spawn(async move {
-            match loser.await {
+            let ms = |d: Instant| d.elapsed().as_secs_f64() * 1e3;
+            let side = match loser.await {
+                Ok(_) => SideState::Known(Obs::Exact(ms(dispatched))),
                 Err(TransportError::Cancelled) => {
                     self.counters
                         .cancelled_in_time
                         .fetch_add(1, Ordering::Relaxed);
-                    self.counters.pairs_censored.fetch_add(1, Ordering::Relaxed);
-                    let lb = dispatched.elapsed().as_secs_f64() * 1e3;
-                    self.observe(match kind {
-                        LoserKind::Primary { reissue_ms } => Observation::Pair {
-                            primary: Obs::Censored(lb),
-                            reissue: Obs::Exact(reissue_ms),
-                        },
-                        LoserKind::Reissue { primary_ms } => Observation::Pair {
-                            primary: Obs::Exact(primary_ms),
-                            reissue: Obs::Censored(lb),
-                        },
-                    });
+                    SideState::Known(Obs::Censored(ms(dispatched)))
                 }
+                Err(_) => SideState::Failed,
+            };
+            self.report_side(&book, is_primary, side);
+        });
+    }
+
+    /// Asynchronously drains a later-stage loser (outside the pair):
+    /// completions feed the marginal reissue stream; retractions count
+    /// the cancel but yield no marginal sample (a censored bound is
+    /// only usable jointly, and the pair already carries this query's
+    /// joint outcome).
+    fn drain_marginal(self: Arc<Self>, loser: crate::transport::InFlight, dispatched: Instant) {
+        let rt = self.rt.clone();
+        rt.spawn(async move {
+            match loser.await {
                 Ok(_) => {
-                    self.counters.pairs_exact.fetch_add(1, Ordering::Relaxed);
                     let ms = dispatched.elapsed().as_secs_f64() * 1e3;
-                    self.observe(match kind {
-                        LoserKind::Primary { reissue_ms } => Observation::Pair {
-                            primary: Obs::Exact(ms),
-                            reissue: Obs::Exact(reissue_ms),
-                        },
-                        LoserKind::Reissue { primary_ms } => Observation::Pair {
-                            primary: Obs::Exact(primary_ms),
-                            reissue: Obs::Exact(ms),
-                        },
-                    });
+                    self.observe(Observation::Reissue(ms));
                 }
-                Err(_) => self.observe(match kind {
-                    LoserKind::Primary { reissue_ms } => Observation::Reissue(reissue_ms),
-                    LoserKind::Reissue { primary_ms } => Observation::Primary(primary_ms),
-                }),
+                Err(TransportError::Cancelled) => {
+                    self.counters
+                        .cancelled_in_time
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {}
             }
         });
+    }
+
+    /// Records one side of the raced pair; the report that completes
+    /// the book emits the joint observation (and the pair counters).
+    fn report_side(&self, book: &Mutex<RaceBook>, is_primary: bool, side: SideState) {
+        let (primary, reissue) = {
+            let mut b = book.lock().unwrap();
+            if is_primary {
+                b.primary = side;
+            } else {
+                b.reissue = side;
+            }
+            match (b.primary, b.reissue) {
+                (SideState::Pending, _) | (_, SideState::Pending) => return,
+                (p, r) => (p, r),
+            }
+        };
+        match (primary, reissue) {
+            (SideState::Known(p), SideState::Known(r)) => {
+                // Both censored (a later-stage reissue won the race)
+                // carries no completable information; the adapter
+                // drops it, so don't count it as a pair either.
+                match (p.is_censored(), r.is_censored()) {
+                    (false, false) => {
+                        self.counters.pairs_exact.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (true, true) => {}
+                    _ => {
+                        self.counters.pairs_censored.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                self.observe(Observation::Pair {
+                    primary: p,
+                    reissue: r,
+                });
+            }
+            (SideState::Known(Obs::Exact(p)), SideState::Failed) => {
+                self.observe(Observation::Primary(p));
+            }
+            (SideState::Failed, SideState::Known(Obs::Exact(r))) => {
+                self.observe(Observation::Reissue(r));
+            }
+            _ => {}
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Speculative-execution runtime: hedged (reissued) requests against
-//! real TCP kvstore replicas, driven by the paper's SingleR policies.
+//! real TCP kvstore replicas, driven by any of the paper's policy
+//! families — SingleD, SingleR, and multi-stage MultipleR schedules.
 //!
 //! The sibling crates *choose* reissue policies; this crate *executes*
 //! them. It turns the reproduction from a calculator into a serving
@@ -14,15 +15,18 @@
 //!   round-robin loop behind real sockets, with wall-clock service
 //!   times and tied-request retraction (`CANCEL <seq>`).
 //! * [`transport`] — [`transport::ReplicaSet`]: pooled async RESP
-//!   connections per replica.
+//!   connections per replica, each replica carrying a
+//!   [`transport::ReplicaHealth`] latency/error EWMA that drives
+//!   reissue targeting (and demotes sick replicas until they heal).
 //! * [`client`] — [`client::HedgedClient`]: dispatch the primary, arm
-//!   the SingleR `(d, q)` timer, race, cancel the loser, and feed
-//!   observations to `reissue_core::online::OnlineAdapter` so the
-//!   policy re-optimizes while serving. Raced hedges are fed as joint
-//!   `(primary, reissue)` pairs — censored at the loser's
-//!   elapsed-at-retraction bound when the tied-request cancel landed in
-//!   time — which lets the adapter run the §4.2 *correlated* optimizer
-//!   once `OnlineConfig::min_pairs` pairs accumulate, instead of the
+//!   the policy's full stage schedule `(d₁,q₁), …, (dₙ,qₙ)`, race all
+//!   in-flight attempts, cancel every loser, and feed observations to
+//!   `reissue_core::online::OnlineAdapter` so the policy re-optimizes
+//!   while serving. Raced hedges are fed as joint `(primary, first
+//!   reissue)` pairs — censored at the loser's elapsed-at-retraction
+//!   bound when the tied-request cancel landed in time — which lets
+//!   the adapter run the §4.2 *correlated* optimizer once
+//!   `OnlineConfig::min_pairs` pairs accumulate, instead of the
 //!   independence model that overvalues hedging the just-past-`d`
 //!   noise band.
 //!
@@ -73,8 +77,8 @@ pub mod server;
 pub mod sync;
 pub mod transport;
 
-pub use client::{HedgeConfig, HedgeStats, HedgedClient};
-pub use rt::{race, Either, JoinHandle, Runtime, Sleep};
+pub use client::{HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES};
+pub use rt::{race, select_all, Either, JoinHandle, Runtime, SelectAll, Sleep};
 pub use server::{spawn_replicas, TcpServer, TcpServerConfig};
 pub use sync::CancelToken;
-pub use transport::{InFlight, Replica, ReplicaSet, TransportError};
+pub use transport::{InFlight, Replica, ReplicaHealth, ReplicaSet, TransportError};

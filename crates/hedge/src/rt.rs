@@ -218,8 +218,16 @@ impl Runtime {
 
     /// A future that resolves `duration` from now.
     pub fn sleep(&self, duration: Duration) -> Sleep {
+        self.sleep_until(Instant::now() + duration)
+    }
+
+    /// A future that resolves at `deadline` (immediately if it has
+    /// passed). Deadline-based timers keep a multi-stage reissue
+    /// schedule anchored to the *primary dispatch*: re-arming with
+    /// relative sleeps would accumulate scheduling slop per stage.
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
         Sleep {
-            deadline: Instant::now() + duration,
+            deadline,
             rt: self.inner.clone(),
         }
     }
@@ -448,6 +456,49 @@ where
     }
 }
 
+/// Future returned by [`select_all`]: first-completed-wins over a
+/// whole set of `Unpin` futures.
+pub struct SelectAll<F> {
+    futures: Vec<F>,
+}
+
+impl<F> SelectAll<F> {
+    /// Hands the still-pending futures back (e.g. after this selector
+    /// lost a [`race`] against a timer), preserving their order.
+    pub fn into_futures(self) -> Vec<F> {
+        self.futures
+    }
+}
+
+/// Races any number of futures; resolves with the winner's index (in
+/// the input order), its output, and the still-pending rest (with the
+/// winner removed, other indices shifted down). Polls in input order,
+/// so on simultaneous readiness the earliest-dispatched attempt wins —
+/// for hedging that means the primary beats a same-instant reissue.
+///
+/// # Panics
+/// Polling panics if `futures` is empty (there is nothing to win).
+pub fn select_all<F: Future + Unpin>(futures: Vec<F>) -> SelectAll<F> {
+    SelectAll { futures }
+}
+
+impl<F: Future + Unpin> Future for SelectAll<F> {
+    type Output = (usize, F::Output, Vec<F>);
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        assert!(!this.futures.is_empty(), "select_all over no futures");
+        for i in 0..this.futures.len() {
+            if let Poll::Ready(v) = Pin::new(&mut this.futures[i]).poll(cx) {
+                let mut rest = std::mem::take(&mut this.futures);
+                rest.remove(i);
+                return Poll::Ready((i, v, rest));
+            }
+        }
+        Poll::Pending
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +566,62 @@ mod tests {
             Either::Left(_) => panic!("slow task should lose"),
             Either::Right((_loser, ())) => {}
         }
+    }
+
+    #[test]
+    fn select_all_returns_winner_and_rest() {
+        let rt = Runtime::new(2);
+        let rt2 = rt.clone();
+        let slow = |ms: u64, v: &'static str| {
+            let rt = rt2.clone();
+            rt2.spawn(async move {
+                rt.sleep(Duration::from_millis(ms)).await;
+                v
+            })
+        };
+        let (idx, won, rest) = rt.block_on(select_all(vec![
+            slow(200, "a"),
+            slow(5, "b"),
+            slow(200, "c"),
+        ]));
+        assert_eq!((idx, won), (1, "b"));
+        assert_eq!(rest.len(), 2);
+        // The handed-back losers still complete.
+        for loser in rest {
+            let v = rt.block_on(loser);
+            assert!(v == "a" || v == "c");
+        }
+    }
+
+    #[test]
+    fn select_all_loses_race_to_timer_and_hands_futures_back() {
+        let rt = Runtime::new(2);
+        let rt2 = rt.clone();
+        let pending = rt.spawn(async move {
+            rt2.sleep(Duration::from_millis(300)).await;
+            41
+        });
+        match rt.block_on(race(
+            select_all(vec![pending]),
+            rt.sleep(Duration::from_millis(10)),
+        )) {
+            Either::Left(_) => panic!("timer should win"),
+            Either::Right((sel, ())) => {
+                let futs = sel.into_futures();
+                assert_eq!(futs.len(), 1);
+                let (i, v, rest) = rt.block_on(select_all(futs));
+                assert_eq!((i, v), (0, 41));
+                assert!(rest.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_immediate() {
+        let rt = Runtime::new(1);
+        let t0 = Instant::now();
+        rt.block_on(rt.sleep_until(t0 - Duration::from_millis(5)));
+        assert!(t0.elapsed() < Duration::from_secs(1));
     }
 
     #[test]

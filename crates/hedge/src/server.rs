@@ -29,7 +29,7 @@ use kvstore::{Command, Reply};
 use bytes::BytesMut;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -64,7 +64,9 @@ struct Shared {
     sweep_cv: Condvar,
     conns: Mutex<Vec<Arc<ConnState>>>,
     stop: AtomicBool,
-    cfg: TcpServerConfig,
+    /// Live copy of [`TcpServerConfig::nanos_per_op`]; see
+    /// [`TcpServer::set_nanos_per_op`].
+    nanos_per_op: AtomicU64,
 }
 
 /// A kvstore replica listening on a real TCP socket.
@@ -88,7 +90,7 @@ impl TcpServer {
             sweep_cv: Condvar::new(),
             conns: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
-            cfg,
+            nanos_per_op: AtomicU64::new(cfg.nanos_per_op),
         });
 
         let mut threads = Vec::new();
@@ -127,6 +129,17 @@ impl TcpServer {
     /// Direct store access (dataset loading before serving).
     pub fn with_store<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
         f(self.shared.server.lock().unwrap().store_mut())
+    }
+
+    /// Changes the per-cost-unit service burn while serving. Lets a
+    /// running replica be slowed down ("sickened") or sped up
+    /// ("healed") without dropping its connections — the knob the
+    /// EWMA-targeting tests turn to verify reissue traffic shifts away
+    /// from a degraded replica and returns once it recovers.
+    pub fn set_nanos_per_op(&self, nanos_per_op: u64) {
+        self.shared
+            .nanos_per_op
+            .store(nanos_per_op, Ordering::Relaxed);
     }
 
     /// Connections currently tracked. Disconnected peers are reaped by
@@ -285,8 +298,9 @@ fn sweep_loop(shared: &Arc<Shared>) {
             let cost = shared.server.lock().unwrap().sweep_conn(idx);
             if let Some(cost) = cost {
                 executed += 1;
-                if cost > 0 && shared.cfg.nanos_per_op > 0 {
-                    burn(Duration::from_nanos(cost * shared.cfg.nanos_per_op));
+                let nanos_per_op = shared.nanos_per_op.load(Ordering::Relaxed);
+                if cost > 0 && nanos_per_op > 0 {
+                    burn(Duration::from_nanos(cost * nanos_per_op));
                 }
                 flush_conn(conn);
             }

@@ -61,6 +61,123 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// Per-replica health signal: decayed EWMAs of response time and
+/// transport error rate, updated by the connection I/O threads as
+/// outcomes resolve and read by the hedging layer to pick reissue
+/// targets (see [`ReplicaSet::pick_reissue_excluding`]).
+///
+/// Raw in-flight counts only see load *this client* put on a replica;
+/// a replica head-of-line-blocked by someone else's monster query, or
+/// one flapping its connections, looks idle by that measure. The EWMA
+/// sees what actually matters — how the replica has been *responding*:
+///
+/// * completed requests feed the latency EWMA (queueing included:
+///   `conn_loop` measures from job dispatch);
+/// * retracted losers feed it as *floor* samples — the request was
+///   outstanding at least that long, so the bound may raise the EWMA
+///   but never lower it (a fast cancel says nothing about speed);
+/// * socket-level failures feed the error EWMA, successes decay it.
+pub struct ReplicaHealth {
+    /// f64 bits; NaN until the first sample arrives.
+    latency_ms: AtomicU64,
+    /// f64 bits; error indicator EWMA in [0, 1].
+    error_rate: AtomicU64,
+}
+
+/// Per-sample EWMA weight for response times. At α = 0.1 a step change
+/// in replica speed is ~87% absorbed after 20 samples — fast enough to
+/// demote a newly sick replica within tens of requests, slow enough
+/// that one straggler does not.
+const LATENCY_ALPHA: f64 = 0.1;
+/// Per-sample EWMA weight for the error indicator.
+const ERROR_ALPHA: f64 = 0.1;
+/// Score weight converting one in-flight request into equivalent
+/// milliseconds of EWMA latency — a light tiebreak so concurrent
+/// hedges spread across equally healthy replicas instead of piling
+/// onto one, without letting instantaneous counts drown the health
+/// signal.
+const INFLIGHT_MS_WEIGHT: f64 = 0.05;
+/// Score multiplier at error EWMA = 1: a replica failing every request
+/// looks 5x its latency.
+const ERROR_PENALTY: f64 = 4.0;
+/// Absolute score term (equivalent ms of EWMA latency) per unit of
+/// error EWMA. The multiplicative [`ERROR_PENALTY`] alone cannot
+/// demote a replica that *only* errors: transport failures never feed
+/// the latency EWMA, which then reads `0` and zeroes the product.
+/// This term makes a replica failing every request — even failing
+/// *fast*, e.g. connection-refused from a crashed process — score
+/// tens of ms worse than any healthy replica regardless of its
+/// (possibly empty) latency history.
+const ERROR_MS_EQUIV: f64 = 50.0;
+
+impl ReplicaHealth {
+    fn new() -> Self {
+        ReplicaHealth {
+            latency_ms: AtomicU64::new(f64::NAN.to_bits()),
+            error_rate: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Lock-free EWMA step: `cell <- cell + alpha * (sample - cell)`,
+    /// seeding with `sample` when the cell is still NaN. With
+    /// `raise_only`, updates that would lower the value are dropped.
+    fn update(cell: &AtomicU64, sample: f64, alpha: f64, raise_only: bool) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = if old.is_nan() {
+                sample
+            } else {
+                old + alpha * (sample - old)
+            };
+            if raise_only && !old.is_nan() && new <= old {
+                return;
+            }
+            match cell.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn record_latency(&self, ms: f64) {
+        Self::update(&self.latency_ms, ms, LATENCY_ALPHA, false);
+        Self::update(&self.error_rate, 0.0, ERROR_ALPHA, false);
+    }
+
+    /// A retracted request's elapsed-at-cancel bound: the true response
+    /// time was at least `ms`, so this may raise the EWMA, never lower
+    /// it.
+    fn record_censored_latency(&self, ms: f64) {
+        Self::update(&self.latency_ms, ms, LATENCY_ALPHA, true);
+    }
+
+    fn record_error(&self) {
+        Self::update(&self.error_rate, 1.0, ERROR_ALPHA, false);
+    }
+
+    /// EWMA of observed response times (ms); `0` before any sample —
+    /// optimism under uncertainty, so cold replicas get probed.
+    pub fn latency_ewma_ms(&self) -> f64 {
+        let v = f64::from_bits(self.latency_ms.load(Ordering::Relaxed));
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    /// EWMA of the transport-error indicator, in `[0, 1]`.
+    pub fn error_ewma(&self) -> f64 {
+        f64::from_bits(self.error_rate.load(Ordering::Relaxed))
+    }
+}
+
 /// RAII share of a connection's in-flight count. Owned by the [`Job`]
 /// so the decrement happens exactly once wherever the job ends up —
 /// completed by the I/O thread, dropped in the queue when the
@@ -103,20 +220,23 @@ pub struct Replica {
     addr: SocketAddr,
     conns: Vec<Conn>,
     next: AtomicUsize,
+    health: Arc<ReplicaHealth>,
 }
 
 impl Replica {
     /// Connects `pool` sockets to `addr`.
     pub fn connect(addr: SocketAddr, pool: usize) -> std::io::Result<Replica> {
+        let health = Arc::new(ReplicaHealth::new());
         let conns = (0..pool.max(1))
             .map(|i| {
                 let stream = connect_socket(addr)?;
                 let writer = stream.try_clone()?;
                 let (tx, rx) = mpsc::channel::<Job>();
                 let inflight = Arc::new(AtomicU64::new(0));
+                let health = health.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("hedge-conn-{addr}-{i}"))
-                    .spawn(move || conn_loop(addr, stream, writer, &rx))
+                    .spawn(move || conn_loop(addr, stream, writer, &rx, &health))
                     .expect("spawn connection I/O thread");
                 Ok(Conn {
                     jobs: Some(tx),
@@ -129,12 +249,30 @@ impl Replica {
             addr,
             conns,
             next: AtomicUsize::new(0),
+            health,
         })
     }
 
     /// The replica's address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replica's live health signal.
+    pub fn health(&self) -> &ReplicaHealth {
+        &self.health
+    }
+
+    /// Reissue-targeting score — lower is better. Health EWMAs carry
+    /// the signal (latency, inflated by the multiplicative error
+    /// penalty, plus an *absolute* error term — see [`ERROR_MS_EQUIV`]);
+    /// the in-flight count is a light tiebreak (see
+    /// [`INFLIGHT_MS_WEIGHT`]).
+    pub fn health_score(&self) -> f64 {
+        let h = &self.health;
+        h.latency_ewma_ms() * (1.0 + ERROR_PENALTY * h.error_ewma())
+            + ERROR_MS_EQUIV * h.error_ewma()
+            + INFLIGHT_MS_WEIGHT * self.inflight() as f64
     }
 
     /// Requests currently queued or on the wire across this replica's
@@ -325,7 +463,13 @@ fn reconnect(addr: SocketAddr, io: &mut ConnIo) -> std::io::Result<()> {
     Ok(())
 }
 
-fn conn_loop(addr: SocketAddr, stream: TcpStream, writer: TcpStream, jobs: &mpsc::Receiver<Job>) {
+fn conn_loop(
+    addr: SocketAddr,
+    stream: TcpStream,
+    writer: TcpStream,
+    jobs: &mpsc::Receiver<Job>,
+    health: &ReplicaHealth,
+) {
     let mut io = ConnIo {
         reader: stream,
         writer: Arc::new(Mutex::new(writer)),
@@ -387,8 +531,17 @@ fn conn_loop(addr: SocketAddr, stream: TcpStream, writer: TcpStream, jobs: &mpsc
                 }
             }
         };
+        let took_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+        match &outcome {
+            // Server-level error replies (WRONGTYPE, …) still measure a
+            // responsive replica, so they count as latency samples.
+            Ok(_) => health.record_latency(took_ms),
+            // A clean retraction is not a speed sample — only a bound.
+            Err(TransportError::Cancelled) => health.record_censored_latency(took_ms),
+            Err(_) => health.record_error(),
+        }
         if std::env::var_os("HEDGE_DEBUG").is_some() {
-            let took = dispatched.elapsed().as_secs_f64() * 1e3;
+            let took = took_ms;
             if took > 10.0 {
                 eprintln!(
                     "[conn {:?}] took {took:.2}ms cmd={:?} outcome={outcome:?}",
@@ -442,17 +595,37 @@ impl ReplicaSet {
         self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len()
     }
 
-    /// Picks the reissue target: the least-loaded replica other than
-    /// the primary (falls back to the primary itself in a 1-replica
-    /// set). Load-aware targeting matters under queries of death: the
-    /// replica the monster's own reissue landed on is just as blocked
-    /// as its primary, and in-flight counts see that where static
-    /// `(p + 1) % n` cannot.
+    /// Picks the reissue target: the healthiest replica other than the
+    /// primary (falls back to the primary itself in a 1-replica set).
     pub fn pick_reissue(&self, primary: usize) -> usize {
-        (0..self.replicas.len())
-            .filter(|&i| i != primary)
-            .min_by_key(|&i| self.replicas[i].inflight())
-            .unwrap_or(primary)
+        self.pick_reissue_excluding(&[primary])
+    }
+
+    /// Picks the reissue target with the lowest [`Replica::health_score`]
+    /// among replicas not in `exclude` — for a multi-stage schedule,
+    /// `exclude` carries the primary plus every earlier stage's target,
+    /// so each reissue explores a fresh replica while any remain.
+    ///
+    /// Health-aware targeting matters under queries of death: *where* a
+    /// redundant copy lands matters as much as *when* it is sent
+    /// (Vulimiri et al.; Shah et al.), and a replica head-of-line
+    /// blocked by another client's monster looks idle to this client's
+    /// raw in-flight counts. The latency/error EWMA sees how the
+    /// replica has actually been responding and demotes it until it
+    /// heals (see [`ReplicaHealth`]).
+    ///
+    /// Falls back to the all-replica minimum when `exclude` covers the
+    /// whole set.
+    pub fn pick_reissue_excluding(&self, exclude: &[usize]) -> usize {
+        let best = |indices: &mut dyn Iterator<Item = usize>| {
+            indices
+                .map(|i| (i, self.replicas[i].health_score()))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(i, _)| i)
+        };
+        best(&mut (0..self.replicas.len()).filter(|i| !exclude.contains(i)))
+            .or_else(|| best(&mut (0..self.replicas.len())))
+            .expect("non-empty replica set")
     }
 }
 
@@ -536,6 +709,86 @@ mod tests {
         }
         drop(replica);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn replica_health_ewma_tracks_and_floors() {
+        let h = ReplicaHealth::new();
+        assert_eq!(h.latency_ewma_ms(), 0.0, "optimistic before any sample");
+        h.record_latency(10.0);
+        assert!(
+            (h.latency_ewma_ms() - 10.0).abs() < 1e-12,
+            "first sample seeds"
+        );
+        for _ in 0..200 {
+            h.record_latency(2.0);
+        }
+        let settled = h.latency_ewma_ms();
+        assert!((settled - 2.0).abs() < 0.1, "EWMA converges: {settled}");
+        // Censored bounds only ever raise.
+        h.record_censored_latency(0.1);
+        assert!((h.latency_ewma_ms() - settled).abs() < 1e-12);
+        h.record_censored_latency(1_000.0);
+        assert!(h.latency_ewma_ms() > settled);
+    }
+
+    #[test]
+    fn replica_health_error_rate_decays_on_success() {
+        let h = ReplicaHealth::new();
+        for _ in 0..50 {
+            h.record_error();
+        }
+        let sick = h.error_ewma();
+        assert!(sick > 0.9, "persistent failures: {sick}");
+        for _ in 0..100 {
+            h.record_latency(1.0);
+        }
+        assert!(h.error_ewma() < 0.01, "successes heal: {}", h.error_ewma());
+    }
+
+    #[test]
+    fn error_only_replica_is_demoted_despite_empty_latency_history() {
+        // A replica that has never completed a request (crashed from
+        // the start) has no latency samples; the absolute error term
+        // must demote it anyway, or its score would read ~0 and every
+        // reissue would chase the dead replica's fast failures.
+        let servers: Vec<_> = (0..2)
+            .map(|_| {
+                TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let set = ReplicaSet::connect(&addrs, 1).unwrap();
+        for _ in 0..50 {
+            set.replica(0).health().record_latency(5.0); // healthy, a bit slow
+            set.replica(1).health().record_error(); // dead: errors only
+        }
+        assert_eq!(set.replica(1).health().latency_ewma_ms(), 0.0);
+        assert!(
+            set.replica(1).health_score() > set.replica(0).health_score(),
+            "error-only replica must score worse than a healthy one"
+        );
+    }
+
+    #[test]
+    fn pick_reissue_excluding_prefers_healthy_and_falls_back() {
+        let servers: Vec<_> = (0..3)
+            .map(|_| {
+                TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let set = ReplicaSet::connect(&addrs, 1).unwrap();
+        // Mark replica 1 slow and replica 2 fast; 0 is the primary.
+        for _ in 0..50 {
+            set.replica(1).health().record_latency(50.0);
+            set.replica(2).health().record_latency(1.0);
+        }
+        assert_eq!(set.pick_reissue(0), 2, "healthy replica wins");
+        assert_eq!(set.pick_reissue_excluding(&[0, 2]), 1);
+        // All excluded: fall back to the global best rather than panic.
+        let all = set.pick_reissue_excluding(&[0, 1, 2]);
+        assert!(all < 3);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Property tests (vendored proptest shim — deterministic per-test
+//! RNG, no shrinking) for MultipleR schedules, at two levels:
+//!
+//! * **Sampling layer** (`reissue_core::policy`): for random stage
+//!   vectors, sampled schedules preserve non-decreasing delays, tag
+//!   the right stage indices, and fire each stage's coin at its own
+//!   probability.
+//! * **Runtime layer** (`hedge::HedgedClient` over real TCP): the
+//!   realized per-stage dispatch rates track the coin probabilities
+//!   when the governor is slack, the total realized reissue rate
+//!   stays under the budget governor's cap when it binds, and the
+//!   per-stage counters account every dispatch.
+
+use hedge::{HedgeConfig, HedgedClient, TcpServer, TcpServerConfig, MAX_STAGES};
+use kvstore::{Command, IntSet, KvStore, Reply};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use reissue_core::policy::ReissuePolicy;
+
+/// Builds a valid MultipleR stage vector from raw draws: delays are
+/// sorted (the family's non-decreasing constraint), probabilities are
+/// clamped into [0, 1] — draws above 1 saturate, exercising the
+/// deterministic q = 1 path in ~1 in 6 stages.
+fn stages_from_draws(raw: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut delays: Vec<f64> = raw.iter().map(|&(d, _)| d).collect();
+    delays.sort_by(f64::total_cmp);
+    delays
+        .into_iter()
+        .zip(raw.iter().map(|&(_, q)| q.min(1.0)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Sampled schedules are order-preserving sub-vectors of the stage
+    /// list: delays non-decreasing, stage indices strictly increasing
+    /// and pointing at the right delay.
+    #[test]
+    fn sampled_schedules_preserve_stage_order(
+        raw in collection::vec((0.0f64..5.0, 0.0f64..1.2), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let stages = stages_from_draws(&raw);
+        let policy = ReissuePolicy::multiple_r(stages.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let sched = policy.sample_schedule_indexed(&mut rng);
+            for w in sched.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "stage indices must increase");
+                prop_assert!(w[0].1 <= w[1].1, "delays must be non-decreasing");
+            }
+            for &(idx, delay) in &sched {
+                prop_assert_eq!(delay, stages[idx].0, "index must tag its own stage");
+            }
+        }
+    }
+
+    /// Each stage fires its own independent coin: empirical rates match
+    /// q per stage. Tolerance: 2 000 draws give binomial σ ≤ 0.011, so
+    /// 4σ + 0.01 slack never flakes on the pinned per-test RNG but
+    /// catches a shared or swapped coin (whose error is O(q)).
+    #[test]
+    fn sampled_schedules_fire_each_coin_at_its_rate(
+        raw in collection::vec((0.0f64..5.0, 0.0f64..1.2), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let stages = stages_from_draws(&raw);
+        let policy = ReissuePolicy::multiple_r(stages.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 2_000;
+        let mut hits = vec![0usize; stages.len()];
+        for _ in 0..n {
+            for (idx, _) in policy.sample_schedule_indexed(&mut rng) {
+                hits[idx] += 1;
+            }
+        }
+        for (idx, &(_, q)) in stages.iter().enumerate() {
+            let rate = hits[idx] as f64 / f64::from(n);
+            let sigma = (q * (1.0 - q) / f64::from(n)).sqrt();
+            prop_assert!(
+                (rate - q).abs() <= 4.0 * sigma + 0.01,
+                "stage {idx}: rate {rate} vs q {q}"
+            );
+        }
+    }
+}
+
+fn props_store() -> KvStore {
+    let mut store = KvStore::new();
+    store.load_set(
+        "evens",
+        IntSet::from_unsorted((0..100u32).map(|i| i * 2).collect()),
+    );
+    store.load_set(
+        "threes",
+        IntSet::from_unsorted((0..100u32).map(|i| i * 3).collect()),
+    );
+    store
+}
+
+proptest! {
+    // TCP servers per case are expensive; 5 cases × 240 queries keeps
+    // the whole property under ~15 s while still varying stage count,
+    // delays, probabilities and the cap across runs.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    /// End-to-end through the runtime: for a random MultipleR policy,
+    /// (a) the per-stage counters account every dispatch, (b) each
+    /// stage's realized dispatch rate tracks its coin probability when
+    /// the governor is slack, and (c) the total realized reissue rate
+    /// stays under the governor's cap (plus its documented burst
+    /// allowance) when the schedule demands more than the cap.
+    #[test]
+    fn runtime_respects_stage_coins_and_governor_cap(
+        raw in collection::vec((0.0f64..2.0, 0.05f64..1.2), 1..4),
+        cap in 0.1f64..0.45,
+        seed in any::<u64>(),
+    ) {
+        let stages = stages_from_draws(&raw);
+        // Service time (~5-10 ms: ~100 probe ops × 50 µs) dwarfs every
+        // stage delay (≤ 2 ms), so P(outstanding at dᵢ) ≈ 1 and the
+        // expected dispatch rate of stage i is qᵢ itself — which makes
+        // the realized rates directly comparable to the coins.
+        let cfg = TcpServerConfig { nanos_per_op: 50_000 };
+        let servers: Vec<TcpServer> = (0..3)
+            .map(|_| TcpServer::bind("127.0.0.1:0", props_store(), cfg).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let client = HedgedClient::connect(
+            &addrs,
+            HedgeConfig {
+                policy: ReissuePolicy::multiple_r(stages.clone()),
+                budget_cap: Some(cap),
+                seed,
+                ..HedgeConfig::default()
+            },
+        )
+        .unwrap();
+
+        let queries = 240u64;
+        for _ in 0..queries {
+            let r = client
+                .execute_blocking(Command::SInterCard("evens".into(), "threes".into()))
+                .unwrap();
+            prop_assert_eq!(r, Reply::Int(34));
+        }
+
+        let stats = client.stats();
+        prop_assert_eq!(stats.queries, queries);
+        // (a) Per-stage accounting is exact.
+        prop_assert_eq!(
+            stats.reissues_by_stage.iter().sum::<u64>(),
+            stats.reissues,
+            "per-stage counts must sum to the total"
+        );
+        for bucket in stats.reissues_by_stage[stages.len()..MAX_STAGES].iter() {
+            prop_assert_eq!(*bucket, 0u64, "no dispatches beyond the last stage");
+        }
+
+        let demand: f64 = stages.iter().map(|&(_, q)| q).sum();
+        // The governor's documented burst allowance (see
+        // `HedgeConfig::budget_cap`).
+        let burst = (cap * 200.0).clamp(2.0, 16.0);
+        // (c) The cap (plus burst) always bounds the realized total.
+        prop_assert!(
+            stats.reissues as f64 <= cap * queries as f64 + burst + 1.0,
+            "realized reissues {} exceed cap {cap} × {queries} + burst {burst}",
+            stats.reissues
+        );
+        if demand <= 0.8 * cap {
+            // (b) Governor slack: each stage's realized rate matches
+            // its coin. Tolerance: 4 binomial σ at 240 queries plus
+            // 0.02 slack for the rare query that completes inside a
+            // sub-millisecond stage delay.
+            for (idx, &(_, q)) in stages.iter().enumerate() {
+                let rate = stats.reissues_by_stage[idx] as f64 / queries as f64;
+                let sigma = (q * (1.0 - q) / queries as f64).sqrt();
+                prop_assert!(
+                    (rate - q).abs() <= 4.0 * sigma + 0.02,
+                    "stage {idx}: realized {rate} vs coin {q}"
+                );
+            }
+        } else {
+            // One-sided even when the governor binds: no stage can
+            // dispatch more often than its coin fires.
+            for (idx, &(_, q)) in stages.iter().enumerate() {
+                let rate = stats.reissues_by_stage[idx] as f64 / queries as f64;
+                let sigma = (q * (1.0 - q) / queries as f64).sqrt();
+                prop_assert!(
+                    rate <= q + 4.0 * sigma + 0.02,
+                    "stage {idx}: realized {rate} above coin {q}"
+                );
+            }
+        }
+    }
+}

@@ -16,6 +16,15 @@ const K: f64 = 0.95;
 
 /// Theorem 3.1 on empirical (sampled) distributions: grid-optimal
 /// DoubleR never beats grid-optimal SingleR beyond grid slack.
+///
+/// Tolerance rationale: the two families are swept on *different* grid
+/// resolutions (48 SingleR delay points vs 14² DoubleR pairs — the
+/// square keeps the test fast), so DoubleR can land nearer a quantile
+/// jump of the 20 000-sample ECDF than SingleR's grid happens to. The
+/// 7% slack bounds that discretization gap; the theorem's claim (no
+/// *asymptotic* DoubleR advantage) would be violated by a gain of
+/// O(quantile spread), far above 7%. Inputs are pinned by
+/// `sampled_workloads`' seeded stream, so the margin is deterministic.
 #[test]
 fn theorem_3_1_on_empirical_distributions() {
     for (name, rx, ry) in sampled_workloads() {
@@ -35,6 +44,13 @@ fn theorem_3_1_on_empirical_distributions() {
 
 /// Theorem 3.2 flavor: random 3-stage MultipleR policies within budget
 /// never achieve a lower k-quantile than the optimal SingleR.
+///
+/// Tolerance rationale: `policy_quantile` bisects to 1e-6 but the
+/// SingleR side comes from a 64-point grid, so a random MultipleR can
+/// sit up to one grid cell closer to the true optimum; 1% covers the
+/// cell width at the Exp(1) P95 scale. The policy stream is pinned at
+/// `seeded(99)`, making the sampled family — and the ≥ 50 in-budget
+/// policies the guard insists on — identical on every run.
 #[test]
 fn theorem_3_2_random_multiple_r_never_wins() {
     let x = Exponential::new(1.0);
@@ -92,6 +108,12 @@ fn x_sf(x: &Pareto, d: f64) -> f64 {
 /// Equation (3) and the budget Equation (4) must be mutually
 /// consistent on sampled data: plugging the optimizer's (d, q) back
 /// into the model reproduces its predictions.
+///
+/// Tolerance rationale: the optimizer evaluates success on the raw
+/// 30 000-sample vectors while the model integrates over the Ecdf's
+/// step interpolation; their difference is O(1/√n) ≈ 0.006 here, so
+/// 0.02 is a ~3x margin that still catches any real divergence
+/// between Equation (3) and the sweep. Seed pinned at `seeded(7)`.
 #[test]
 fn optimizer_and_model_agree_on_samples() {
     let mut rng = seeded(7);
@@ -110,6 +132,10 @@ fn optimizer_and_model_agree_on_samples() {
     assert!(model_budget <= 0.1 + 1e-9);
 }
 
+/// Workload samples for the theorem tests, drawn from an explicitly
+/// pinned stream (`seeded(11)`): every assertion above is made against
+/// byte-identical data on every run, so the slacks are margins against
+/// discretization, never against sampling luck.
 fn sampled_workloads() -> Vec<(&'static str, Vec<f64>, Vec<f64>)> {
     let mut rng = seeded(11);
     let exp = Exponential::new(1.0);

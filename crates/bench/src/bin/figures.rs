@@ -1,10 +1,17 @@
 //! Regenerates the paper's figures. See `reissue_bench` crate docs.
 //!
 //! ```text
-//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|all>...
+//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|all>...
 //! ```
+//!
+//! `tcp` regenerates the §6.2 figures through the real TCP serving
+//! path (see `figs_tcp`); `figtcp_62` and `figtcp_scaleout` select
+//! one of the two TCP figures. `HEDGE_TCP_QUERIES=<n>` shrinks those
+//! runs for smoke testing. `all` covers the simulator figures only —
+//! the TCP sweep is wall-clock-bound (it really serves the load), so
+//! it is requested explicitly.
 
-use reissue_bench::{figs_ext, figs_sim, figs_sys, out_dir, Scale, Table};
+use reissue_bench::{figs_ext, figs_sim, figs_sys, figs_tcp, out_dir, Scale, Table};
 use std::time::Instant;
 
 fn main() {
@@ -19,7 +26,7 @@ fn main() {
         .collect();
     if figs.is_empty() {
         eprintln!(
-            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|all>..."
+            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|all>..."
         );
         std::process::exit(2);
     }
@@ -61,6 +68,9 @@ fn main() {
             "ext3" => figs_ext::ext3_multiple_r(scale),
             "ext4" => figs_ext::ext4_online_correlated(scale),
             "ext" => figs_ext::all(scale),
+            "figtcp_62" => figs_tcp::figtcp_62(scale),
+            "figtcp_scaleout" => figs_tcp::figtcp_scaleout(scale),
+            "tcp" => figs_tcp::all(scale),
             other => {
                 eprintln!("unknown figure id: {other}");
                 std::process::exit(2);

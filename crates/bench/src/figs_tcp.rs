@@ -1,0 +1,333 @@
+//! §6.2 system figures regenerated through the **real TCP path**, plus
+//! the scale-out sweep.
+//!
+//! `figs_sys` drives the paper's §6 figures through the cluster
+//! *simulator*; the generators here drive them through the serving
+//! stack instead — `hedge::harness::Cluster` spins real `TcpServer`
+//! replicas, an open-loop load generator offers the §6.2 kvstore
+//! trace (rare queries of death included) over sockets, and
+//! `hedge::HedgedClient` executes the policies with tied-request
+//! cancellation, per-replica health targeting, and live online
+//! adaptation. Latencies are wall-clock milliseconds out of the
+//! shared log-bucketed histogram.
+//!
+//! Two figures:
+//!
+//! * [`figtcp_62`] — P99 vs reissue budget at 3 replicas / 40%
+//!   utilization, four policies per point: unhedged, online-correlated
+//!   SingleR (the §4.2 adapter), and static SingleR / DoubleR built
+//!   from the adapted `(d*, q*)` (the §3 equal-budget comparison).
+//! * [`figtcp_scaleout`] — P99 and reduction ratio over replica count
+//!   {3, 6, 12} × utilization {0.3, 0.6, 0.85}: the measurement where
+//!   redundancy's benefit flips sign with load ("Low Latency via
+//!   Redundancy"), now through real sockets.
+//!
+//! `HEDGE_TCP_QUERIES=<n>` overrides the per-phase query count (the
+//! CI smoke job runs a few hundred); at small counts the tables still
+//! generate but the tails are noisy and the online adapter may not
+//! warm up.
+
+use crate::{Scale, Table};
+use hedge::harness::{Arrivals, Cluster, LoadConfig, LoadReport};
+use hedge::{HedgeConfig, HedgedClient};
+use kvstore::dataset::{Dataset, DatasetConfig};
+use kvstore::workload::{Trace, WorkloadConfig};
+use kvstore::{Command, KvStore};
+use reissue_core::online::OnlineConfig;
+use reissue_core::policy::ReissuePolicy;
+
+/// The §6 experiments target P99.
+const K: f64 = 0.99;
+/// Wall-clock service burn per elementary store operation.
+const NANOS_PER_OP: u64 = 150;
+/// One in this many queries is a "query of death" (§6.2): a monster
+/// intersection whose service time head-of-line-blocks its replica.
+const MONSTER_EVERY: usize = 500;
+/// Bounded admission for every run; drops are reported per point.
+const MAX_IN_FLIGHT: usize = 512;
+
+/// Per-phase query count: `HEDGE_TCP_QUERIES` if set, otherwise
+/// scale-dependent (6 000 full / 1 500 fast).
+pub fn tcp_queries(scale: Scale) -> usize {
+    std::env::var("HEDGE_TCP_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(match scale {
+            Scale::Full => 6_000,
+            Scale::Fast => 1_500,
+        })
+}
+
+/// The §6.2 workload behind every TCP figure: a mid-scale instance of
+/// the set-intersection dataset plus two monster sets, the query
+/// trace, and the mean per-query service time (monsters included) the
+/// utilization targeting needs.
+struct TcpWorkload {
+    store: KvStore,
+    trace: Trace,
+    /// Mean service time per query in microseconds, monster mass
+    /// included.
+    mean_service_us: f64,
+}
+
+impl TcpWorkload {
+    fn generate(queries: usize) -> TcpWorkload {
+        let dataset = Dataset::generate(DatasetConfig {
+            num_sets: 300,
+            universe: 100_000,
+            card_mu: (300.0f64).ln(),
+            card_sigma: 0.3,
+            seed: 0x5e75,
+        });
+        let trace = Trace::generate(
+            &dataset,
+            WorkloadConfig {
+                num_queries: queries,
+                ns_per_op: NANOS_PER_OP as f64,
+                seed: 0xbeef,
+            },
+        );
+        // The one shared §6.2 store definition (monster sets
+        // included), so these figures replay exactly the cluster
+        // example's workload.
+        let mut store = kvstore::workload::store_with_monsters(&dataset);
+        // Measure the monster's cost the same way the server will
+        // account it, then fold it into the trace mean at the monster
+        // frequency.
+        let (_, monster_ops) = store.execute(&Command::SInterCard(
+            kvstore::workload::MONSTER_KEY_A.into(),
+            kvstore::workload::MONSTER_KEY_B.into(),
+        ));
+        let monster_ms = monster_ops as f64 * NANOS_PER_OP as f64 / 1e6;
+        let mean_ms = trace.mean_ms() + (monster_ms - trace.mean_ms()) / MONSTER_EVERY as f64;
+        TcpWorkload {
+            store,
+            trace,
+            mean_service_us: mean_ms * 1e3,
+        }
+    }
+
+    /// The command for arrival `i`: the traced intersection, with the
+    /// scripted query of death every [`MONSTER_EVERY`] arrivals.
+    fn command_fn(&self) -> impl FnMut(usize) -> Command + Send + 'static {
+        self.trace.monster_command_fn(MONSTER_EVERY)
+    }
+
+    /// Poisson arrival process hitting `util` of an `n`-replica
+    /// cluster's service capacity.
+    fn arrivals_for(&self, n: usize, util: f64) -> Arrivals {
+        Arrivals::Poisson {
+            mean_us: (self.mean_service_us / (n as f64 * util)).max(1.0) as u64,
+        }
+    }
+
+    fn load_config(&self, queries: usize, n: usize, util: f64) -> LoadConfig {
+        LoadConfig {
+            queries,
+            arrivals: self.arrivals_for(n, util),
+            max_in_flight: MAX_IN_FLIGHT,
+            seed: 0x10AD ^ (n as u64) << 8 ^ (util * 100.0) as u64,
+            script: Vec::new(),
+        }
+    }
+}
+
+fn online_config(budget: f64) -> OnlineConfig {
+    OnlineConfig {
+        k: K,
+        budget,
+        window: 1_000,
+        reoptimize_every: 250,
+        learning_rate: 0.5,
+        min_pairs: 48,
+    }
+}
+
+/// One phase: spin a fresh cluster, run the open-loop trace through a
+/// client with the given configuration, return the report and client.
+fn run_phase(
+    wl: &TcpWorkload,
+    queries: usize,
+    n: usize,
+    util: f64,
+    cfg: HedgeConfig,
+) -> (LoadReport, HedgedClient) {
+    let cluster = Cluster::spawn(n, &wl.store, NANOS_PER_OP).expect("bind replicas");
+    let client = HedgedClient::connect(&cluster.addrs(), cfg).expect("connect client");
+    let report = cluster.run_load(&client, &wl.load_config(queries, n, util), wl.command_fn());
+    (report, client)
+}
+
+fn p99(report: &LoadReport) -> f64 {
+    report.quantile(K).unwrap_or(f64::NAN)
+}
+
+fn realized_rate(client: &HedgedClient) -> f64 {
+    let stats = client.stats();
+    stats.reissues as f64 / stats.queries.max(1) as f64
+}
+
+/// §6.2 through TCP: P99 vs reissue budget at 3 replicas / 40%
+/// utilization, four policies per budget point.
+pub fn figtcp_62(scale: Scale) -> Vec<Table> {
+    let queries = tcp_queries(scale);
+    let wl = TcpWorkload::generate(queries);
+    let (n, util) = (3, 0.40);
+    let budgets = [0.02, 0.05, 0.08];
+
+    // Unhedged baseline, measured once through the same path.
+    let (base, _) = run_phase(
+        &wl,
+        queries,
+        n,
+        util,
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: None,
+            ..HedgeConfig::default()
+        },
+    );
+    let p99_unhedged = p99(&base);
+
+    let mut t = Table::new(
+        "figtcp_62_budget",
+        &[
+            "budget",
+            "unhedged_p99",
+            "online_p99",
+            "online_rate",
+            "singler_p99",
+            "singler_rate",
+            "doubler_p99",
+            "doubler_rate",
+            "drop_frac",
+        ],
+    );
+    for &budget in &budgets {
+        // Online-correlated adaptation at this budget.
+        let (online, client) = run_phase(
+            &wl,
+            queries,
+            n,
+            util,
+            HedgeConfig {
+                policy: ReissuePolicy::None,
+                online: Some(online_config(budget)),
+                ..HedgeConfig::default()
+            },
+        );
+        let record = client.online_policy().expect("online adapter active");
+        let online_rate = realized_rate(&client);
+        let online_p99 = p99(&online);
+        // Static §3 comparators from the adapted artifacts, replayed
+        // at equal governed budget (see the cluster example for the
+        // identical-main-stage rationale).
+        let d_star = record.delay.max(0.1);
+        let q_star = record.probability.clamp(0.001, 1.0);
+        let statics: Vec<(f64, f64)> = [
+            ReissuePolicy::single_r(d_star, q_star),
+            ReissuePolicy::double_r(d_star, q_star, 1.3 * d_star, 0.004),
+        ]
+        .into_iter()
+        .map(|policy| {
+            let (report, client) = run_phase(
+                &wl,
+                queries,
+                n,
+                util,
+                HedgeConfig {
+                    policy,
+                    online: None,
+                    budget_cap: Some(1.25 * budget),
+                    ..HedgeConfig::default()
+                },
+            );
+            (p99(&report), realized_rate(&client))
+        })
+        .collect();
+        t.push(vec![
+            budget,
+            p99_unhedged,
+            online_p99,
+            online_rate,
+            statics[0].0,
+            statics[0].1,
+            statics[1].0,
+            statics[1].1,
+            online.drop_rate(),
+        ]);
+    }
+    vec![t]
+}
+
+/// The scale-out sweep: replica count × utilization, unhedged vs
+/// online-correlated hedging at an 8% budget, all through TCP.
+/// Backpressure is part of the result, not an artifact: the dropped
+/// fraction of arrivals is a column, so over-capacity points report
+/// their shed load instead of silently measuring a different rate.
+pub fn figtcp_scaleout(scale: Scale) -> Vec<Table> {
+    let queries = tcp_queries(scale);
+    let wl = TcpWorkload::generate(queries);
+    let budget = 0.08;
+    let replicas = [3usize, 6, 12];
+    let utils = [0.3, 0.6, 0.85];
+
+    let mut t = Table::new(
+        "figtcp_scaleout",
+        &[
+            "replicas",
+            "util",
+            "unhedged_p99",
+            "hedged_p99",
+            "reduction",
+            "hedged_rate",
+            "drop_unhedged",
+            "drop_hedged",
+        ],
+    );
+    for &n in &replicas {
+        for &util in &utils {
+            let (base, _) = run_phase(
+                &wl,
+                queries,
+                n,
+                util,
+                HedgeConfig {
+                    policy: ReissuePolicy::None,
+                    online: None,
+                    ..HedgeConfig::default()
+                },
+            );
+            let (hedged, client) = run_phase(
+                &wl,
+                queries,
+                n,
+                util,
+                HedgeConfig {
+                    policy: ReissuePolicy::None,
+                    online: Some(online_config(budget)),
+                    ..HedgeConfig::default()
+                },
+            );
+            let (pu, ph) = (p99(&base), p99(&hedged));
+            t.push(vec![
+                n as f64,
+                util,
+                pu,
+                ph,
+                if ph > 0.0 { pu / ph } else { f64::NAN },
+                realized_rate(&client),
+                base.drop_rate(),
+                hedged.drop_rate(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Both TCP figures.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let mut tables = figtcp_62(scale);
+    tables.extend(figtcp_scaleout(scale));
+    tables
+}

@@ -19,6 +19,7 @@
 pub mod figs_ext;
 pub mod figs_sim;
 pub mod figs_sys;
+pub mod figs_tcp;
 
 use reissue_core::adaptive::AdaptiveResult;
 use reissue_core::ReissuePolicy;

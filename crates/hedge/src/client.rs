@@ -165,33 +165,15 @@ struct Counters {
     reissue_targets: Vec<AtomicU64>,
 }
 
-/// Sliding window of the most recent query latencies: bounded memory
-/// for long-serving clients (a plain grow-forever `Vec` would leak).
-struct LatencyRing {
-    samples: Vec<f64>,
-    next: usize,
-}
-
-/// Samples retained for [`HedgedClient::latency_quantile`].
-const LATENCY_WINDOW: usize = 1 << 17;
-
-impl LatencyRing {
-    fn push(&mut self, v: f64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(v);
-        } else {
-            self.samples[self.next] = v;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
-}
-
 struct HcInner {
     rt: Runtime,
     replicas: ReplicaSet,
     state: Mutex<PolicyState>,
     counters: Counters,
-    latencies_ms: Mutex<LatencyRing>,
+    /// Streaming latency recorder: the shared log-bucketed histogram
+    /// (1% relative quantile error, constant memory) instead of the
+    /// sorted-`Vec`-per-probe this client used to keep.
+    latencies_ms: Mutex<reissue_core::metrics::LogHistogram>,
     budget_cap: Option<f64>,
 }
 
@@ -228,10 +210,7 @@ impl HedgedClient {
                     errors: AtomicU64::new(0),
                     reissue_targets: (0..addrs.len()).map(|_| AtomicU64::new(0)).collect(),
                 },
-                latencies_ms: Mutex::new(LatencyRing {
-                    samples: Vec::new(),
-                    next: 0,
-                }),
+                latencies_ms: Mutex::new(reissue_core::metrics::LogHistogram::latency_ms()),
                 budget_cap,
             }),
         })
@@ -297,31 +276,30 @@ impl HedgedClient {
         st.adapter.as_ref().map(|a| a.using_correlated())
     }
 
-    /// Number of queries slower than `threshold_ms` among the most
-    /// recent [`LATENCY_WINDOW`] completions.
+    /// Number of completed queries slower than `threshold_ms`, at the
+    /// latency histogram's bucket resolution.
     pub fn latencies_over(&self, threshold_ms: f64) -> usize {
         self.inner
             .latencies_ms
             .lock()
             .unwrap()
-            .samples
-            .iter()
-            .filter(|&&l| l > threshold_ms)
-            .count()
+            .count_over(threshold_ms) as usize
     }
 
-    /// Quantile of end-to-end query latencies (ms) over the most
-    /// recent [`LATENCY_WINDOW`] completions.
+    /// Quantile of end-to-end query latencies (ms) over all
+    /// completions, within the histogram's 1% relative error.
     pub fn latency_quantile(&self, q: f64) -> Option<f64> {
-        let lat = self.inner.latencies_ms.lock().unwrap();
-        if lat.samples.is_empty() {
-            return None;
-        }
-        let mut v = lat.samples.clone();
-        drop(lat);
-        v.sort_by(f64::total_cmp);
-        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        Some(v[idx])
+        self.inner
+            .latencies_ms
+            .lock()
+            .unwrap()
+            .quantile(q.clamp(0.0, 1.0))
+    }
+
+    /// A snapshot of the full latency histogram (log-bucketed; see
+    /// [`reissue_core::metrics::LogHistogram`]).
+    pub fn latency_histogram(&self) -> reissue_core::metrics::LogHistogram {
+        self.inner.latencies_ms.lock().unwrap().clone()
     }
 
     /// Executes one command with hedging; resolves to the winning
@@ -377,7 +355,7 @@ impl HedgedClient {
             inner.counters.queries.fetch_add(1, Ordering::Relaxed);
             match outcome {
                 Ok((reply, raced)) => {
-                    inner.latencies_ms.lock().unwrap().push(elapsed_ms);
+                    inner.latencies_ms.lock().unwrap().record(elapsed_ms);
                     // Un-raced completions feed the primary stream
                     // directly. Raced hedges are *not* observed here:
                     // their joint (primary, reissue) outcome — exact or

@@ -1,0 +1,486 @@
+//! Scale-out cluster harness: programmatic N-replica TCP clusters,
+//! open-loop load generation with bounded admission, and streaming
+//! latency recording.
+//!
+//! Every scale experiment in this repository needs the same three
+//! pieces, and before this module each call site hand-rolled them:
+//!
+//! * a **[`Cluster`]** — `n` [`TcpServer`] replicas of one dataset
+//!   snapshot on ephemeral local ports, with live per-replica
+//!   [`Cluster::set_nanos_per_op`] so a running replica can be
+//!   sickened or healed mid-experiment;
+//! * an **open-loop load generator** ([`Cluster::run_load`]) — queries
+//!   arrive on a clock ([`Arrivals`]: fixed-interval, Poisson, or
+//!   bursts) *regardless of completions*, as in the paper's §6 system
+//!   experiments. Admission is bounded: at most
+//!   [`LoadConfig::max_in_flight`] queries may be outstanding, and an
+//!   arrival that finds the window full is **dropped and counted** —
+//!   never silently absorbed, and never allowed to queue unboundedly
+//!   inside the client (`arrivals == dispatched + dropped` always
+//!   holds, which is what keeps an over-capacity run from deadlocking
+//!   or eating the heap);
+//! * a **streaming latency recorder** — per-query wall-clock latencies
+//!   land in a shared [`LogHistogram`] (log-bucketed, 1% relative
+//!   quantile error, constant memory), so a million-query sweep costs
+//!   a few hundred counters instead of a sorted `Vec` per quantile.
+//!
+//! Completion accounting is exact: every dispatched query resolves as
+//! either `completed` or `failed`, and [`LoadReport::lost`] — the
+//! difference — must be zero for a healthy run (the harness
+//! integration tests assert it).
+//!
+//! ```no_run
+//! use hedge::harness::{Arrivals, Cluster, LoadConfig};
+//! use hedge::{HedgeConfig, HedgedClient};
+//! use kvstore::{Command, KvStore};
+//!
+//! let cluster = Cluster::spawn(6, &KvStore::new(), 200).unwrap();
+//! let client = HedgedClient::connect(&cluster.addrs(), HedgeConfig::default()).unwrap();
+//! let report = cluster.run_load(
+//!     &client,
+//!     &LoadConfig {
+//!         queries: 10_000,
+//!         arrivals: Arrivals::Poisson { mean_us: 500 },
+//!         ..LoadConfig::default()
+//!     },
+//!     |_i| Command::Ping,
+//! );
+//! println!("P99 {:?} ms, dropped {}", report.quantile(0.99), report.dropped);
+//! ```
+
+use crate::client::HedgedClient;
+use crate::server::{spawn_replicas, TcpServer, TcpServerConfig};
+
+use kvstore::{Command, KvStore};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reissue_core::metrics::LogHistogram;
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Inter-arrival process of the open-loop generator.
+#[derive(Clone, Copy, Debug)]
+pub enum Arrivals {
+    /// Fixed inter-arrival gap (a deterministic pacer).
+    Fixed {
+        /// Microseconds between consecutive arrivals.
+        interval_us: u64,
+    },
+    /// Poisson arrivals: exponential inter-arrival times with the
+    /// given mean (the memoryless open-loop load of the paper's §6
+    /// experiments; drawn from [`LoadConfig::seed`]).
+    Poisson {
+        /// Mean inter-arrival time, microseconds.
+        mean_us: u64,
+    },
+    /// Bursty arrivals: `size` back-to-back queries, then one `gap`.
+    /// The average rate matches `Poisson`/`Fixed` at
+    /// `gap_us / size`, but arrivals cluster — the adversarial shape
+    /// for a budget governor.
+    Burst {
+        /// Queries per burst.
+        size: usize,
+        /// Microseconds between bursts.
+        gap_us: u64,
+    },
+}
+
+impl Arrivals {
+    /// Mean arrival rate in queries per second.
+    pub fn rate_qps(&self) -> f64 {
+        match *self {
+            Arrivals::Fixed { interval_us } => 1e6 / interval_us.max(1) as f64,
+            Arrivals::Poisson { mean_us } => 1e6 / mean_us.max(1) as f64,
+            Arrivals::Burst { size, gap_us } => size as f64 * 1e6 / gap_us.max(1) as f64,
+        }
+    }
+
+    /// The gap to sleep *after* arrival `i` (µs). Burst arrivals
+    /// sleep only at burst boundaries.
+    fn gap_after_us(&self, i: usize, rng: &mut SmallRng) -> u64 {
+        match *self {
+            Arrivals::Fixed { interval_us } => interval_us,
+            Arrivals::Poisson { mean_us } => {
+                // Inverse-CDF exponential draw; clamp the log away from
+                // 0 so a pathological RNG value cannot produce ∞.
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                (-u.ln() * mean_us as f64) as u64
+            }
+            Arrivals::Burst { size, gap_us } => {
+                if (i + 1) % size.max(1) == 0 {
+                    gap_us
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// One scripted mid-run change to a replica's service speed: applied
+/// once the generator has *offered* (dispatched or dropped)
+/// `at_query` arrivals. Sicken a replica by raising `nanos_per_op`,
+/// heal it by restoring the baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct SicknessEvent {
+    /// Arrival index at which to apply the change.
+    pub at_query: usize,
+    /// Target replica index.
+    pub replica: usize,
+    /// New wall-clock nanoseconds per unit of store cost.
+    pub nanos_per_op: u64,
+}
+
+/// Configuration for one open-loop load run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Number of arrivals to offer.
+    pub queries: usize,
+    /// The inter-arrival process.
+    pub arrivals: Arrivals,
+    /// Bound on concurrently outstanding queries. An arrival beyond
+    /// the bound is dropped (and reported), which is what keeps an
+    /// over-capacity run from accumulating unbounded in-flight state.
+    pub max_in_flight: usize,
+    /// Seed for the arrival process (Poisson draws).
+    pub seed: u64,
+    /// Scripted per-replica sickness/heal events, applied by arrival
+    /// index. Need not be sorted.
+    pub script: Vec<SicknessEvent>,
+}
+
+impl Default for LoadConfig {
+    /// 10 000 queries, 1 ms fixed pacing, 1 024 in-flight cap.
+    fn default() -> Self {
+        LoadConfig {
+            queries: 10_000,
+            arrivals: Arrivals::Fixed { interval_us: 1_000 },
+            max_in_flight: 1_024,
+            seed: 0x10AD,
+            script: Vec::new(),
+        }
+    }
+}
+
+/// What one open-loop run did, with exact arrival and completion
+/// accounting: `queries == dispatched + dropped` and
+/// `dispatched == completed + failed` (the latter once the run has
+/// drained, which [`Cluster::run_load`] waits for).
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Arrivals admitted and sent to the client.
+    pub dispatched: u64,
+    /// Arrivals refused because `max_in_flight` queries were already
+    /// outstanding (backpressure, reported rather than absorbed).
+    pub dropped: u64,
+    /// Dispatched queries that resolved with a reply.
+    pub completed: u64,
+    /// Dispatched queries that resolved with a transport error.
+    pub failed: u64,
+    /// Highest number of concurrently outstanding queries observed.
+    pub peak_in_flight: usize,
+    /// Wall-clock duration of the run (first arrival to last drain).
+    pub elapsed: Duration,
+    /// End-to-end latency of every completed query, ms.
+    pub latency_ms: LogHistogram,
+}
+
+impl LoadReport {
+    /// Dispatched queries unaccounted for — must be zero after a
+    /// drained run (every query resolves as completed or failed).
+    pub fn lost(&self) -> i64 {
+        self.dispatched as i64 - self.completed as i64 - self.failed as i64
+    }
+
+    /// Latency quantile (ms) over completed queries.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.latency_ms.quantile(p)
+    }
+
+    /// Fraction of arrivals dropped by admission control.
+    pub fn drop_rate(&self) -> f64 {
+        self.dropped as f64 / (self.dispatched + self.dropped).max(1) as f64
+    }
+}
+
+/// An `n`-replica TCP kvstore cluster under programmatic control.
+///
+/// Replicas serve identical snapshots of the store on ephemeral local
+/// ports; dropping the cluster shuts every replica down (joining its
+/// threads).
+pub struct Cluster {
+    servers: Vec<TcpServer>,
+    baseline_nanos_per_op: u64,
+}
+
+impl Cluster {
+    /// Spins up `n` replicas of `store`, each burning
+    /// `nanos_per_op` wall-clock nanoseconds per unit of store cost.
+    pub fn spawn(n: usize, store: &KvStore, nanos_per_op: u64) -> std::io::Result<Cluster> {
+        assert!(n > 0, "a cluster needs at least one replica");
+        Ok(Cluster {
+            servers: spawn_replicas(n, store, TcpServerConfig { nanos_per_op })?,
+            baseline_nanos_per_op: nanos_per_op,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the cluster has no replicas (never true: `spawn`
+    /// rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Every replica's socket address, in replica-index order.
+    pub fn addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.servers.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Direct access to replica `idx`'s server.
+    pub fn server(&self, idx: usize) -> &TcpServer {
+        &self.servers[idx]
+    }
+
+    /// Changes replica `idx`'s service burn while it serves (sicken /
+    /// heal).
+    pub fn set_nanos_per_op(&self, idx: usize, nanos_per_op: u64) {
+        self.servers[idx].set_nanos_per_op(nanos_per_op);
+    }
+
+    /// Restores every replica to the spawn-time service burn.
+    pub fn heal_all(&self) {
+        for s in &self.servers {
+            s.set_nanos_per_op(self.baseline_nanos_per_op);
+        }
+    }
+
+    /// Total commands executed across all replicas.
+    pub fn total_commands(&self) -> u64 {
+        self.servers.iter().map(|s| s.stats().commands).sum()
+    }
+
+    /// Drives `cfg.queries` arrivals through `client` open-loop and
+    /// waits for every dispatched query to drain. `make_cmd` produces
+    /// the command for arrival `i`.
+    ///
+    /// Queries are dispatched on the arrival clock regardless of
+    /// completions (a closed loop would let every stalled query
+    /// suppress exactly the load that measures the stall). Arrivals
+    /// that find `max_in_flight` queries outstanding are dropped and
+    /// counted. Scripted [`SicknessEvent`]s are applied from the
+    /// calling thread as the arrival count crosses their `at_query`.
+    ///
+    /// The client should be connected to [`Cluster::addrs`]; the
+    /// cluster only needs itself for the sickness script, so a client
+    /// pointed elsewhere still paces correctly.
+    pub fn run_load(
+        &self,
+        client: &HedgedClient,
+        cfg: &LoadConfig,
+        make_cmd: impl FnMut(usize) -> Command + Send + 'static,
+    ) -> LoadReport {
+        let shared = Arc::new(RunShared {
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+            offered: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency_ms: Mutex::new(LogHistogram::latency_ms()),
+        });
+        let started = Instant::now();
+        let pacer = {
+            let client = client.clone();
+            let shared = shared.clone();
+            let cfg_arrivals = cfg.arrivals;
+            let queries = cfg.queries;
+            let max_in_flight = cfg.max_in_flight.max(1);
+            let seed = cfg.seed;
+            let mut make_cmd = make_cmd;
+            let rt = client.runtime().clone();
+            rt.clone().spawn(async move {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                // Absolute arrival schedule: each deadline advances by
+                // the sampled gap from the *previous deadline*, never
+                // from "now" — relative sleeps would add the pacer's
+                // own per-arrival work and wakeup latency on top of
+                // every gap, silently lowering the offered rate (and
+                // the error compounds exactly at the tight-gap sweep
+                // points the rate is supposed to stress). If the pacer
+                // falls behind, expired deadlines resolve immediately
+                // and it catches up.
+                let mut next_arrival = Instant::now();
+                for i in 0..queries {
+                    // Admission: the arrival happens on the clock
+                    // either way; only the dispatch is conditional.
+                    let outstanding = shared.in_flight.load(Ordering::Relaxed);
+                    if outstanding >= max_in_flight {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let now = outstanding + 1;
+                        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                        shared.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                        shared.dispatched.fetch_add(1, Ordering::Relaxed);
+                        // Latency clock starts at admission, not at the
+                        // completion task's first poll: the time a
+                        // dispatched query spends waiting for the
+                        // executor to schedule it is part of its
+                        // latency (dropping it would under-report the
+                        // tail exactly at congested sweep points —
+                        // coordinated omission).
+                        let t0 = Instant::now();
+                        let fut = client.execute(make_cmd(i));
+                        let shared = shared.clone();
+                        rt.spawn(async move {
+                            match fut.await {
+                                Ok(_) => {
+                                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                                    shared.latency_ms.lock().unwrap().record(ms);
+                                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    }
+                    shared.offered.fetch_add(1, Ordering::Relaxed);
+                    let gap = cfg_arrivals.gap_after_us(i, &mut rng);
+                    if gap > 0 {
+                        next_arrival += Duration::from_micros(gap);
+                        rt.sleep_until(next_arrival).await;
+                    }
+                }
+            })
+        };
+
+        // The calling thread watches arrival progress and applies the
+        // sickness script (it holds the &self borrow the replicas
+        // need; the pacer task must be 'static).
+        let mut script: Vec<SicknessEvent> = cfg.script.clone();
+        script.sort_by_key(|e| e.at_query);
+        let mut next_event = 0;
+        let poll = Duration::from_micros(200);
+        loop {
+            let offered = shared.offered.load(Ordering::Relaxed) as usize;
+            while next_event < script.len() && script[next_event].at_query <= offered {
+                let e = script[next_event];
+                self.set_nanos_per_op(e.replica, e.nanos_per_op);
+                next_event += 1;
+            }
+            if offered >= cfg.queries {
+                break;
+            }
+            std::thread::sleep(poll);
+        }
+        client.runtime().block_on(pacer);
+        // Drain: every dispatched query resolves as completed or
+        // failed (the transport guarantees each request a reply or an
+        // error), so this terminates once the slowest straggler —
+        // monster service times included — finishes.
+        loop {
+            let done =
+                shared.completed.load(Ordering::Relaxed) + shared.failed.load(Ordering::Relaxed);
+            if done >= shared.dispatched.load(Ordering::Relaxed) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let latency_ms = shared.latency_ms.lock().unwrap().clone();
+        LoadReport {
+            dispatched: shared.dispatched.load(Ordering::Relaxed),
+            dropped: shared.dropped.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            failed: shared.failed.load(Ordering::Relaxed),
+            peak_in_flight: shared.peak_in_flight.load(Ordering::Relaxed),
+            elapsed: started.elapsed(),
+            latency_ms,
+        }
+    }
+}
+
+struct RunShared {
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    /// Arrivals offered so far (dispatched + dropped) — the script
+    /// clock.
+    offered: AtomicU64,
+    dispatched: AtomicU64,
+    dropped: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    latency_ms: Mutex<LogHistogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HedgeConfig;
+
+    #[test]
+    fn arrivals_rates() {
+        assert!((Arrivals::Fixed { interval_us: 500 }.rate_qps() - 2_000.0).abs() < 1e-9);
+        assert!((Arrivals::Poisson { mean_us: 2_000 }.rate_qps() - 500.0).abs() < 1e-9);
+        assert!(
+            (Arrivals::Burst {
+                size: 10,
+                gap_us: 10_000
+            }
+            .rate_qps()
+                - 1_000.0)
+                .abs()
+                < 1e-9
+        );
+        // Burst gaps only land at burst boundaries.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = Arrivals::Burst {
+            size: 3,
+            gap_us: 900,
+        };
+        let gaps: Vec<u64> = (0..6).map(|i| b.gap_after_us(i, &mut rng)).collect();
+        assert_eq!(gaps, vec![0, 0, 900, 0, 0, 900]);
+        // Poisson gaps average near the mean.
+        let p = Arrivals::Poisson { mean_us: 1_000 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|i| p.gap_after_us(i, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1_000.0).abs() < 50.0, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn cluster_spawns_and_serves_basic_load() {
+        let mut store = KvStore::new();
+        let (reply, _) = store.execute(&Command::Set("k".into(), "v".into()));
+        assert_eq!(reply, kvstore::Reply::Ok);
+        let cluster = Cluster::spawn(3, &store, 0).unwrap();
+        assert_eq!(cluster.len(), 3);
+        assert_eq!(cluster.addrs().len(), 3);
+        let client = HedgedClient::connect(&cluster.addrs(), HedgeConfig::default()).unwrap();
+        let report = cluster.run_load(
+            &client,
+            &LoadConfig {
+                queries: 300,
+                arrivals: Arrivals::Fixed { interval_us: 50 },
+                max_in_flight: 64,
+                ..LoadConfig::default()
+            },
+            |_| Command::Get("k".into()),
+        );
+        assert_eq!(report.dispatched + report.dropped, 300);
+        assert_eq!(report.lost(), 0, "every query must be accounted for");
+        assert_eq!(report.failed, 0);
+        assert!(report.completed > 0);
+        assert!(report.quantile(0.5).is_some());
+        assert!(report.peak_in_flight <= 64);
+        assert!(report.drop_rate() < 1.0);
+    }
+}

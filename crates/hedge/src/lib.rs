@@ -29,6 +29,12 @@
 //!   `OnlineConfig::min_pairs` pairs accumulate, instead of the
 //!   independence model that overvalues hedging the just-past-`d`
 //!   noise band.
+//! * [`harness`] — the scale-out experiment harness:
+//!   [`harness::Cluster`] (programmatic N-replica TCP clusters with
+//!   live per-replica sickness scripting) and an open-loop
+//!   Poisson/burst load generator with bounded admission,
+//!   backpressure accounting, and streaming latency histograms — the
+//!   machinery behind the TCP figure sweeps and the cluster example.
 //!
 //! ## Quickstart
 //!
@@ -72,12 +78,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod harness;
 pub mod rt;
 pub mod server;
 pub mod sync;
 pub mod transport;
 
 pub use client::{HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES};
+pub use harness::{Arrivals, Cluster, LoadConfig, LoadReport, SicknessEvent};
 pub use rt::{race, select_all, Either, JoinHandle, Runtime, SelectAll, Sleep};
 pub use server::{spawn_replicas, TcpServer, TcpServerConfig};
 pub use sync::CancelToken;

@@ -3,10 +3,34 @@
 //! service costs.
 
 use crate::dataset::Dataset;
+use crate::sets::IntSet;
 use crate::store::{Command, KvStore, Reply};
 use bytes::Bytes;
 use distributions::rng::stream;
 use rand::Rng;
+
+/// Key of the first §6.2 monster set (see [`store_with_monsters`]).
+pub const MONSTER_KEY_A: &str = "qod:a";
+/// Key of the second §6.2 monster set.
+pub const MONSTER_KEY_B: &str = "qod:b";
+
+/// Loads `dataset` plus the two monster sets behind the §6.2 "queries
+/// of death" into a fresh store: intersecting [`MONSTER_KEY_A`] with
+/// [`MONSTER_KEY_B`] costs ~500k probe operations (tens of
+/// milliseconds at realistic per-op burns) against ~0.5 ms for a
+/// typical traced pair. One definition serves every §6.2 experiment —
+/// the TCP cluster example and the `figtcp` figure sweeps replay the
+/// *same* workload by construction.
+pub fn store_with_monsters(dataset: &Dataset) -> KvStore {
+    let mut store = KvStore::new();
+    dataset.load_into(&mut store);
+    store.load_set(MONSTER_KEY_A, IntSet::from_unsorted((0..30_000).collect()));
+    store.load_set(
+        MONSTER_KEY_B,
+        IntSet::from_unsorted((15_000..45_000).collect()),
+    );
+    store
+}
 
 /// Workload generation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -111,6 +135,33 @@ impl Trace {
     /// Number of queries with cost above `threshold_ms`.
     pub fn count_above(&self, threshold_ms: f64) -> usize {
         self.costs_ms.iter().filter(|&&c| c > threshold_ms).count()
+    }
+
+    /// A `'static` command generator over this trace for open-loop
+    /// serving experiments: the traced `SINTERCARD` for arrival `i`
+    /// (wrapping past the trace length), with a query of death —
+    /// [`MONSTER_KEY_A`] ∩ [`MONSTER_KEY_B`], see
+    /// [`store_with_monsters`] — every `every` arrivals.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn monster_command_fn(
+        &self,
+        every: usize,
+    ) -> impl FnMut(usize) -> Command + Send + 'static {
+        assert!(every > 0, "monster frequency must be positive");
+        let pairs = self.pairs.clone();
+        move |i| {
+            if i % every == every / 2 {
+                Command::SInterCard(MONSTER_KEY_A.into(), MONSTER_KEY_B.into())
+            } else {
+                let (a, b) = pairs[i % pairs.len()];
+                Command::SInterCard(
+                    Bytes::from(Dataset::key(a).into_bytes()),
+                    Bytes::from(Dataset::key(b).into_bytes()),
+                )
+            }
+        }
     }
 }
 

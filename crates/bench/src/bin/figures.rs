@@ -1,17 +1,23 @@
 //! Regenerates the paper's figures. See `reissue_bench` crate docs.
 //!
 //! ```text
-//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|all>...
+//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|all>...
 //! ```
 //!
 //! `tcp` regenerates the §6.2 figures through the real TCP serving
 //! path (see `figs_tcp`); `figtcp_62` and `figtcp_scaleout` select
-//! one of the two TCP figures. `HEDGE_TCP_QUERIES=<n>` shrinks those
-//! runs for smoke testing. `all` covers the simulator figures only —
-//! the TCP sweep is wall-clock-bound (it really serves the load), so
-//! it is requested explicitly.
+//! one of the two TCP figures, and `fanout` runs the sharded
+//! scatter-gather width × budget sweep (see `figs_fanout`).
+//! `HEDGE_TCP_QUERIES=<n>` shrinks those runs for smoke testing.
+//! The TCP/fan-out figures additionally persist machine-readable
+//! results to `BENCH_tcp.json` / `BENCH_fanout.json` in the working
+//! directory. `all` covers the simulator figures only — the TCP and
+//! fan-out sweeps are wall-clock-bound (they really serve the load),
+//! so they are requested explicitly.
 
-use reissue_bench::{figs_ext, figs_sim, figs_sys, figs_tcp, out_dir, Scale, Table};
+use reissue_bench::{
+    figs_ext, figs_fanout, figs_sim, figs_sys, figs_tcp, out_dir, write_bench_json, Scale, Table,
+};
 use std::time::Instant;
 
 fn main() {
@@ -26,7 +32,7 @@ fn main() {
         .collect();
     if figs.is_empty() {
         eprintln!(
-            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|all>..."
+            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|all>..."
         );
         std::process::exit(2);
     }
@@ -71,12 +77,27 @@ fn main() {
             "figtcp_62" => figs_tcp::figtcp_62(scale),
             "figtcp_scaleout" => figs_tcp::figtcp_scaleout(scale),
             "tcp" => figs_tcp::all(scale),
+            "fanout" | "figtcp_fanout" => figs_fanout::figtcp_fanout(scale),
             other => {
                 eprintln!("unknown figure id: {other}");
                 std::process::exit(2);
             }
         };
         let elapsed = start.elapsed();
+        // The serving-path figures also persist machine-readable JSON
+        // (P99s, realized budgets, drop fractions) at the repo root.
+        let json_name = match fig.as_str() {
+            "figtcp_62" | "figtcp_scaleout" | "tcp" => Some("BENCH_tcp.json"),
+            "fanout" | "figtcp_fanout" => Some("BENCH_fanout.json"),
+            _ => None,
+        };
+        if let Some(name) = json_name {
+            let queries = figs_tcp::tcp_queries(scale);
+            match write_bench_json(std::path::Path::new(name), &fig, queries, &tables) {
+                Ok(()) => eprintln!("[{fig}: wrote {name}]"),
+                Err(e) => eprintln!("warning: failed to write {name}: {e}"),
+            }
+        }
         for t in &tables {
             // Scatter tables are large; print only a summary line.
             if t.rows.len() > 60 {

@@ -1,0 +1,308 @@
+//! The sharded fan-out figure: aggregate-P99 compounding over fan-out
+//! width, and per-shard hedging under a shared budget recovering it —
+//! all through the real TCP scatter-gather path.
+//!
+//! A request that fans out to `N` shards completes when its slowest
+//! leg does, so independent per-leg noise compounds: with a fraction
+//! `p` of legs transiently slow, `1 − (1−p)^N` of fan-outs are slow
+//! (§ "The Tail at Scale" regime the paper's single-group experiments
+//! factor out). The *independent* noise in a scatter-gather is
+//! per-machine, not per-query — every fan-out hits all groups at once,
+//! so queueing is correlated across shards — and the figure models it
+//! the way the harness always has: scripted transient slowness,
+//! staggered across replicas so that ~5% of legs land on a currently
+//! degraded replica at any moment regardless of width (see
+//! [`sickness_script`]). [`figtcp_fanout`] sweeps fan-out width
+//! {1, 10, 100} × reissue budget {2, 5, 8}%, each width served by a
+//! `shard::ShardedCluster` of BM25 index shards (the shared
+//! [`ShardedQueryWorkload`], identical traffic to the example and the
+//! integration tests), comparing
+//!
+//! * **unhedged** — the compounding baseline;
+//! * **online-correlated** — each leg runs the §4.2 censored-pair
+//!   adapter, all legs drawing from one shared cross-shard
+//!   `BudgetGovernor`;
+//! * **static SingleR** — `(d*, q*)` frozen from the adapted run and
+//!   replayed at equal governed budget.
+//!
+//! `HEDGE_TCP_QUERIES=<n>` overrides the per-phase fan-out count, as
+//! for the other TCP figures. Output also lands in `BENCH_fanout.json`
+//! (see the `figures` binary).
+//!
+//! Reading the output honestly: the recovery comparison is sharpest at
+//! widths 1 and 10. Width 100 really serves 200 TCP servers from one
+//! process and — at smoke counts — estimates each P99 from a handful
+//! of samples, so its hedged columns are noisy; it is in the sweep
+//! primarily to exercise (and keep honest) the scatter-gather plumbing
+//! and the shared governor at scale, and its unhedged leg-vs-aggregate
+//! gap still shows the compounding.
+
+use crate::figs_tcp::tcp_queries;
+use crate::{median, Scale, Table};
+
+use hedge::harness::Arrivals;
+use reissue_core::online::OnlineConfig;
+use reissue_core::policy::ReissuePolicy;
+use searchengine::workload::QueryWorkloadConfig;
+use searchengine::{CorpusConfig, ShardedQueryWorkload};
+use shard::{
+    run_fanout_load, FanoutClient, FanoutConfig, FanoutLoadConfig, FanoutLoadReport,
+    FanoutSickness, ShardedCluster,
+};
+
+/// The fan-out experiments target P99, like the other §6 figures.
+const K: f64 = 0.99;
+/// Wall-clock service burn per postings-scan unit at width 1 (the
+/// other TCP figures' per-op burn). Scaled by the width — see
+/// [`nanos_per_op`].
+const BASE_NANOS_PER_OP: u64 = 150;
+
+/// Per-op burn for a given fan-out width. Every arrival costs the
+/// *client* `width` leg dispatches, so width-independent service times
+/// would saturate the single client process long before the servers at
+/// width 100 (the harness shares one machine). Scaling the burn —
+/// it's a wall-clock sleep, not CPU — slows the arrival rate linearly
+/// while holding per-group utilization at [`UTIL`], so client work per
+/// second is width-independent and the measured tails reflect the
+/// serving path. Absolute P99s therefore differ across widths; the
+/// cross-width story is in the *ratios* (aggregate vs leg, hedged vs
+/// unhedged).
+fn nanos_per_op(width: usize) -> u64 {
+    BASE_NANOS_PER_OP * width as u64
+}
+/// Replicas per shard group — the minimum that lets a leg hedge.
+const REPLICAS_PER_SHARD: usize = 2;
+/// Per-group offered utilization (arrival rate × mean leg service /
+/// replicas). Constant across widths: each arrival sends one query to
+/// every group, so group load is width-independent by construction.
+const UTIL: f64 = 0.40;
+/// Bounded admission on concurrently outstanding *fan-outs*.
+const MAX_IN_FLIGHT: usize = 64;
+
+/// Fan-out widths swept (the (0.99)^N compounding axis).
+const WIDTHS: [usize; 3] = [1, 10, 100];
+/// Reissue budgets swept (per-leg fraction, shared across shards).
+const BUDGETS: [f64; 3] = [0.02, 0.05, 0.08];
+
+/// The shared sharded-search workload at bench scale: per-shard corpus
+/// size is constant in the width, so the per-leg service distribution
+/// has a width-independent *shape*; only its time scale stretches with
+/// [`nanos_per_op`] (see there for why).
+fn workload(scale: Scale, shards: usize) -> ShardedQueryWorkload {
+    let (num_docs, vocab, mean_doc_len, base_ops, trace_len) = match scale {
+        Scale::Full => (1_500, 20_000, 80.0, 6_000, 500),
+        Scale::Fast => (400, 8_000, 50.0, 3_000, 300),
+    };
+    ShardedQueryWorkload::generate(
+        shards,
+        CorpusConfig {
+            num_docs,
+            vocab,
+            mean_doc_len,
+            seed: 0xFA27,
+            ..CorpusConfig::default()
+        },
+        QueryWorkloadConfig {
+            num_queries: trace_len,
+            base_ops,
+            top_k: 10,
+            seed: 0xFA28,
+            ..QueryWorkloadConfig::default()
+        },
+        nanos_per_op(shards) as f64,
+    )
+}
+
+fn load_config(wl: &ShardedQueryWorkload, queries: usize, width: usize) -> FanoutLoadConfig {
+    let mean_us = (wl.mean_leg_ms() * 1e3 / (REPLICAS_PER_SHARD as f64 * UTIL)).max(1.0) as u64;
+    FanoutLoadConfig {
+        queries,
+        arrivals: Arrivals::Poisson { mean_us },
+        max_in_flight: MAX_IN_FLIGHT,
+        seed: 0x10AD ^ (width as u64) << 8,
+        script: Vec::new(),
+    }
+}
+
+/// Discarded fan-outs per phase before measurement starts: fills
+/// connection pools, thread stacks, and replica-health EWMAs so
+/// cold-start transients don't pollute a P99 that smoke counts
+/// estimate from a handful of samples.
+const WARMUP_QUERIES: usize = 60;
+
+/// The transient per-machine slowness that makes the tail-at-scale
+/// regime: one 4× slow window per replica, staggered across the middle
+/// half of the run so that at any instant `width / 10` replicas are
+/// degraded — a constant ~5% of a fan-out's legs land on a currently
+/// slow replica *regardless of width*, and the aggregate hit rate
+/// compounds as `1 − 0.95^width` ({5%, 40%, 99%} at widths
+/// {1, 10, 100}). This is the independent leg noise of "The Tail at
+/// Scale": per-query cost is identical for primary and reissue (it is
+/// the same query) and queueing is synchronized across groups (every
+/// fan-out hits all of them), so *machine state* is what a reissue to
+/// the sibling replica can actually dodge. Primaries are targeted
+/// round-robin (blind); reissue targeting is health-EWMA-aware, so the
+/// hedged phases route rescues to the healthy sibling while the
+/// unhedged baseline eats every window.
+fn sickness_script(width: usize, queries: usize) -> Vec<FanoutSickness> {
+    let healthy = nanos_per_op(width);
+    let window = (queries / 20).max(4);
+    let span = queries / 2;
+    (0..width)
+        .flat_map(|s| {
+            let start = queries / 4 + s * span / width;
+            let replica = s % REPLICAS_PER_SHARD;
+            [
+                FanoutSickness {
+                    at_query: start,
+                    shard: s,
+                    replica,
+                    nanos_per_op: 4 * healthy,
+                },
+                FanoutSickness {
+                    at_query: (start + window).min(queries.saturating_sub(1)),
+                    shard: s,
+                    replica,
+                    nanos_per_op: healthy,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// One phase: fresh fan-out client on the (reused) cluster, a
+/// discarded warmup, then the measured open-loop run under the
+/// staggered sickness script. Dropping the previous phase's client
+/// first frees its runtime and connections; the cluster is healed
+/// before handing the report back.
+fn run_phase(
+    cluster: &ShardedCluster<searchengine::SearchBackend>,
+    wl: &ShardedQueryWorkload,
+    queries: usize,
+    cfg: FanoutConfig,
+) -> (FanoutLoadReport, FanoutClient) {
+    let client = FanoutClient::connect(cluster, cfg).expect("connect fan-out client");
+    let warm = load_config(wl, WARMUP_QUERIES, cluster.shards());
+    let _ = run_fanout_load(cluster, &client, &warm, wl.command_fn());
+    let mut load = load_config(wl, queries, cluster.shards());
+    load.script = sickness_script(cluster.shards(), queries);
+    let report = run_fanout_load(cluster, &client, &load, wl.command_fn());
+    cluster.heal_all();
+    (report, client)
+}
+
+fn agg_p99(report: &FanoutLoadReport) -> f64 {
+    report.quantile(K).unwrap_or(f64::NAN)
+}
+
+/// The adapted `(d*, q*)` to freeze for the static comparator: the
+/// median over legs of each leg's online record (legs adapt
+/// independently; the median is robust to a leg that never warmed up).
+fn median_adapted_policy(client: &FanoutClient) -> (f64, f64) {
+    let mut delays = Vec::new();
+    let mut probs = Vec::new();
+    for s in 0..client.shards() {
+        if let Some(rec) = client.leg(s).online_policy() {
+            delays.push(rec.delay);
+            probs.push(rec.probability);
+        }
+    }
+    if delays.is_empty() {
+        return (1.0, 0.0);
+    }
+    (median(&delays), median(&probs))
+}
+
+/// Fan-out width × budget sweep over real TCP: aggregate-P99
+/// compounding (unhedged) and its recovery by per-shard hedging under
+/// one shared cross-shard budget.
+pub fn figtcp_fanout(scale: Scale) -> Vec<Table> {
+    let queries = tcp_queries(scale);
+    let mut t = Table::new(
+        "figtcp_fanout",
+        &[
+            "width",
+            "budget",
+            "unhedged_leg_p99",
+            "unhedged_agg_p99",
+            "online_agg_p99",
+            "online_rate",
+            "static_agg_p99",
+            "static_rate",
+            "drop_frac",
+        ],
+    );
+
+    for &width in &WIDTHS {
+        let wl = workload(scale, width);
+        let cluster = ShardedCluster::spawn(wl.backends(), REPLICAS_PER_SHARD, nanos_per_op(width))
+            .expect("bind shard groups");
+
+        // Unhedged baseline, once per width: both the per-leg and the
+        // aggregate tail, so the table shows the compounding directly.
+        let (base, base_client) = run_phase(&cluster, &wl, queries, FanoutConfig::default());
+        let unhedged_leg_p99 = base.leg_quantile(K).unwrap_or(f64::NAN);
+        let unhedged_agg_p99 = agg_p99(&base);
+        drop(base_client);
+
+        for &budget in &BUDGETS {
+            // Per-leg online-correlated adaptation under the shared
+            // cross-shard governor.
+            let (online, online_client) = run_phase(
+                &cluster,
+                &wl,
+                queries,
+                FanoutConfig {
+                    // A short window tracks the transient-slowness
+                    // regime shifts; re-optimization is throttled at
+                    // width 100, where 100 per-leg adapters would
+                    // otherwise re-optimize about once per fan-out and
+                    // that CPU lands on the serving core.
+                    online: Some(OnlineConfig {
+                        k: K,
+                        budget,
+                        window: 300,
+                        reoptimize_every: if width >= 100 { 250 } else { 100 },
+                        learning_rate: 0.5,
+                        min_pairs: 32,
+                    }),
+                    budget: Some(budget),
+                    ..FanoutConfig::default()
+                },
+            );
+            let online_p99 = agg_p99(&online);
+            let online_rate = online_client.realized_reissue_rate();
+            let (d_star, q_star) = median_adapted_policy(&online_client);
+            drop(online_client);
+
+            // Static SingleR frozen from the adapted artifacts, same
+            // shared governed budget.
+            let (stat, static_client) = run_phase(
+                &cluster,
+                &wl,
+                queries,
+                FanoutConfig {
+                    policy: ReissuePolicy::single_r(d_star.max(0.1), q_star.clamp(0.001, 1.0)),
+                    budget: Some(budget),
+                    ..FanoutConfig::default()
+                },
+            );
+            let static_p99 = agg_p99(&stat);
+            let static_rate = static_client.realized_reissue_rate();
+            drop(static_client);
+
+            t.push(vec![
+                width as f64,
+                budget,
+                unhedged_leg_p99,
+                unhedged_agg_p99,
+                online_p99,
+                online_rate,
+                static_p99,
+                static_rate,
+                online.drop_rate(),
+            ]);
+        }
+    }
+    vec![t]
+}

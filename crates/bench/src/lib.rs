@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod figs_ext;
+pub mod figs_fanout;
 pub mod figs_sim;
 pub mod figs_sys;
 pub mod figs_tcp;
@@ -98,6 +99,76 @@ impl Table {
 /// The default output directory, `target/figures`.
 pub fn out_dir() -> PathBuf {
     PathBuf::from("target/figures")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    // JSON has no NaN/Infinity; absent measurements become null.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serializes figure tables as a machine-readable JSON document:
+/// `{"figure": ..., "queries_per_phase": ..., "tables": [{"name",
+/// "columns", "rows"}, ...]}`. Non-finite cells become `null`.
+pub fn tables_to_json(figure: &str, queries_per_phase: usize, tables: &[Table]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"{}\",\n  \"queries_per_phase\": {queries_per_phase},\n  \"tables\": [",
+        json_escape(figure)
+    ));
+    for (ti, t) in tables.iter().enumerate() {
+        if ti > 0 {
+            out.push(',');
+        }
+        let cols: Vec<String> = t
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect();
+        out.push_str(&format!(
+            "\n    {{\n      \"name\": \"{}\",\n      \"columns\": [{}],\n      \"rows\": [",
+            json_escape(&t.name),
+            cols.join(", ")
+        ));
+        for (ri, row) in t.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            let cells: Vec<String> = row.iter().map(|&v| json_num(v)).collect();
+            out.push_str(&format!("\n        [{}]", cells.join(", ")));
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes figure tables as JSON to `path` (e.g. `BENCH_fanout.json` at
+/// the repo root) — the machine-readable record the figure runs emit
+/// alongside the CSVs.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    figure: &str,
+    queries_per_phase: usize,
+    tables: &[Table],
+) -> std::io::Result<()> {
+    std::fs::write(path, tables_to_json(figure, queries_per_phase, tables))
 }
 
 /// Median of a non-empty slice (destructive on a copy).
@@ -409,6 +480,26 @@ mod tests {
         let data = std::fs::read_to_string(path).unwrap();
         assert_eq!(data.lines().count(), 3);
         assert!(data.starts_with("x,y"));
+    }
+
+    #[test]
+    fn tables_serialize_to_json_with_null_for_nan() {
+        let mut t = Table::new("demo", &["x", "p99"]);
+        t.push(vec![1.0, 2.5]);
+        t.push(vec![2.0, f64::NAN]);
+        let json = tables_to_json("fanout", 400, &[t]);
+        assert!(json.contains("\"figure\": \"fanout\""));
+        assert!(json.contains("\"queries_per_phase\": 400"));
+        assert!(json.contains("\"columns\": [\"x\", \"p99\"]"));
+        assert!(json.contains("[1, 2.5]"));
+        assert!(json.contains("[2, null]"), "NaN must serialize as null");
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -93,6 +93,13 @@ pub struct HedgeConfig {
     /// later stages queue behind it, preserving the schedule's
     /// dispatch order.
     pub budget_cap: Option<f64>,
+    /// An externally shared governor. When set it takes precedence
+    /// over `budget_cap`: several clients handed clones of one
+    /// [`BudgetGovernor`] draw reissue quota from a single pool — the
+    /// scatter-gather fan-out aggregator gives every per-shard client
+    /// the same governor so hedging is per-shard but the *budget* is
+    /// cross-shard.
+    pub governor: Option<Arc<BudgetGovernor>>,
     /// TCP connections per replica.
     pub pool_per_replica: usize,
     /// Executor worker threads.
@@ -107,10 +114,86 @@ impl Default for HedgeConfig {
             policy: ReissuePolicy::None,
             online: None,
             budget_cap: None,
+            governor: None,
             pool_per_replica: 4,
             workers: 4,
             seed: 0x5EED,
         }
+    }
+}
+
+/// A running-counter reissue-rate governor, shareable across clients.
+///
+/// Tracks completed queries and dispatched reissues and answers "may
+/// one more reissue go out right now?": the realized rate including it
+/// must stay at or under the cap, plus a small burst allowance. The
+/// burst term is essential, not cosmetic: queries advance on
+/// *completions*, and the moments that need hedging most — every
+/// in-flight query stuck behind a query of death — are exactly the
+/// moments completions stall. A zero-burst governor deadlocks there.
+///
+/// Wrap it in an [`Arc`] and hand clones to several [`HedgedClient`]s
+/// (via [`HedgeConfig::governor`]) to enforce one budget across all of
+/// them; `queries` then counts per-leg queries across every client, so
+/// the cap stays a per-leg reissue fraction.
+#[derive(Debug)]
+pub struct BudgetGovernor {
+    cap: f64,
+    queries: AtomicU64,
+    reissues: AtomicU64,
+}
+
+impl BudgetGovernor {
+    /// Creates a governor enforcing `cap` (reissues per query).
+    pub fn new(cap: f64) -> Self {
+        assert!(cap >= 0.0 && cap.is_finite(), "cap must be finite and >= 0");
+        BudgetGovernor {
+            cap,
+            queries: AtomicU64::new(0),
+            reissues: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured cap (reissues per query).
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// The burst allowance above `cap × queries` (see type docs).
+    pub fn burst(&self) -> f64 {
+        (self.cap * 200.0).clamp(2.0, 16.0)
+    }
+
+    /// Whether one more reissue may be dispatched right now.
+    pub fn allows(&self) -> bool {
+        let queries = self.queries.load(Ordering::Relaxed) + 1;
+        let reissues = self.reissues.load(Ordering::Relaxed) + 1;
+        reissues as f64 <= self.cap * queries as f64 + self.burst()
+    }
+
+    /// Records one completed query.
+    pub fn note_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched reissue.
+    pub fn note_reissue(&self) {
+        self.reissues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed queries recorded so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Dispatched reissues recorded so far.
+    pub fn reissues(&self) -> u64 {
+        self.reissues.load(Ordering::Relaxed)
+    }
+
+    /// Realized reissue rate so far (0 when nothing completed yet).
+    pub fn realized_rate(&self) -> f64 {
+        self.reissues() as f64 / self.queries().max(1) as f64
     }
 }
 
@@ -174,7 +257,7 @@ struct HcInner {
     /// (1% relative quantile error, constant memory) instead of the
     /// sorted-`Vec`-per-probe this client used to keep.
     latencies_ms: Mutex<reissue_core::metrics::LogHistogram>,
-    budget_cap: Option<f64>,
+    governor: Option<Arc<BudgetGovernor>>,
 }
 
 /// A hedging client over a set of kvstore replicas. Cheap to clone
@@ -185,14 +268,31 @@ pub struct HedgedClient {
 }
 
 impl HedgedClient {
-    /// Connects to the replicas and starts the runtime.
+    /// Connects to the replicas and starts a fresh runtime with
+    /// [`HedgeConfig::workers`] threads.
     pub fn connect(addrs: &[SocketAddr], cfg: HedgeConfig) -> std::io::Result<HedgedClient> {
+        let rt = Runtime::new(cfg.workers);
+        Self::connect_with_runtime(rt, addrs, cfg)
+    }
+
+    /// Connects to the replicas on an existing runtime. Lets many
+    /// clients — e.g. one per shard group in a fan-out — share one
+    /// executor instead of spawning `workers` threads each.
+    pub fn connect_with_runtime(
+        rt: Runtime,
+        addrs: &[SocketAddr],
+        cfg: HedgeConfig,
+    ) -> std::io::Result<HedgedClient> {
         let replicas = ReplicaSet::connect(addrs, cfg.pool_per_replica)?;
-        let budget_cap = cfg.budget_cap.or(cfg.online.map(|o| 1.25 * o.budget));
+        let governor = cfg.governor.clone().or_else(|| {
+            cfg.budget_cap
+                .or(cfg.online.map(|o| 1.25 * o.budget))
+                .map(|cap| Arc::new(BudgetGovernor::new(cap)))
+        });
         let adapter = cfg.online.map(OnlineAdapter::new);
         Ok(HedgedClient {
             inner: Arc::new(HcInner {
-                rt: Runtime::new(cfg.workers),
+                rt,
                 replicas,
                 state: Mutex::new(PolicyState {
                     policy: cfg.policy,
@@ -211,7 +311,7 @@ impl HedgedClient {
                     reissue_targets: (0..addrs.len()).map(|_| AtomicU64::new(0)).collect(),
                 },
                 latencies_ms: Mutex::new(reissue_core::metrics::LogHistogram::latency_ms()),
-                budget_cap,
+                governor,
             }),
         })
     }
@@ -219,6 +319,11 @@ impl HedgedClient {
     /// The executor, for spawning concurrent load generators.
     pub fn runtime(&self) -> &Runtime {
         &self.inner.rt
+    }
+
+    /// The budget governor in force, if any (owned or shared).
+    pub fn governor(&self) -> Option<&Arc<BudgetGovernor>> {
+        self.inner.governor.as_ref()
     }
 
     /// The current policy (live view; moves as the adapter re-optimizes).
@@ -353,6 +458,9 @@ impl HedgedClient {
                 eprintln!("[hedge] slow {elapsed_ms:.2}ms armed={schedule:?} cmd={cmd:?}");
             }
             inner.counters.queries.fetch_add(1, Ordering::Relaxed);
+            if let Some(g) = &inner.governor {
+                g.note_query();
+            }
             match outcome {
                 Ok((reply, raced)) => {
                     inner.latencies_ms.lock().unwrap().record(elapsed_ms);
@@ -435,22 +543,10 @@ struct RaceBook {
 }
 
 impl HcInner {
-    /// Whether the budget governor permits one more reissue right now:
-    /// the realized rate including it must stay at or under the cap,
-    /// plus a small burst allowance. The burst term is essential, not
-    /// cosmetic: `queries` advances on *completions*, and the moments
-    /// that need hedging most — every in-flight query stuck behind a
-    /// query of death — are exactly the moments completions stall. A
-    /// zero-burst governor deadlocks there: no completions, no quota,
-    /// no hedges, until the monster finishes on its own.
+    /// Whether the budget governor permits one more reissue right now
+    /// (see [`BudgetGovernor::allows`]; always true without one).
     fn governor_allows(&self) -> bool {
-        let Some(cap) = self.budget_cap else {
-            return true;
-        };
-        let burst = (cap * 200.0).clamp(2.0, 16.0);
-        let queries = self.counters.queries.load(Ordering::Relaxed) + 1;
-        let reissues = self.counters.reissues.load(Ordering::Relaxed) + 1;
-        reissues as f64 <= cap * queries as f64 + burst
+        self.governor.as_ref().is_none_or(|g| g.allows())
     }
 
     /// Feeds one latency observation to the adapter and refreshes the
@@ -682,6 +778,9 @@ impl HcInner {
         meta: &mut Vec<AttemptMeta>,
     ) {
         self.counters.reissues.fetch_add(1, Ordering::Relaxed);
+        if let Some(g) = &self.governor {
+            g.note_reissue();
+        }
         self.counters.reissues_by_stage[stage.min(MAX_STAGES - 1)].fetch_add(1, Ordering::Relaxed);
         let idx = self.replicas.pick_reissue_excluding(targets);
         targets.push(idx);

@@ -51,7 +51,7 @@
 use crate::client::HedgedClient;
 use crate::server::{spawn_replicas, TcpServer, TcpServerConfig};
 
-use kvstore::{Command, KvStore};
+use kvstore::{Backend, Command, KvStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use reissue_core::metrics::LogHistogram;
@@ -98,8 +98,10 @@ impl Arrivals {
     }
 
     /// The gap to sleep *after* arrival `i` (µs). Burst arrivals
-    /// sleep only at burst boundaries.
-    fn gap_after_us(&self, i: usize, rng: &mut SmallRng) -> u64 {
+    /// sleep only at burst boundaries. Public so other open-loop
+    /// pacers (e.g. `shard::run_fanout_load`) sample the identical
+    /// arrival process.
+    pub fn gap_after_us(&self, i: usize, rng: &mut SmallRng) -> u64 {
         match *self {
             Arrivals::Fixed { interval_us } => interval_us,
             Arrivals::Poisson { mean_us } => {
@@ -205,20 +207,24 @@ impl LoadReport {
     }
 }
 
-/// An `n`-replica TCP kvstore cluster under programmatic control.
+/// An `n`-replica TCP cluster under programmatic control.
 ///
-/// Replicas serve identical snapshots of the store on ephemeral local
-/// ports; dropping the cluster shuts every replica down (joining its
-/// threads).
-pub struct Cluster {
-    servers: Vec<TcpServer>,
+/// Replicas serve identical snapshots of one [`Backend`] (a kvstore by
+/// default; any backend works — `crates/shard` spawns one cluster per
+/// index shard) on ephemeral local ports; dropping the cluster shuts
+/// every replica down (joining its threads).
+pub struct Cluster<B: Backend = KvStore> {
+    servers: Vec<TcpServer<B>>,
     baseline_nanos_per_op: u64,
 }
 
-impl Cluster {
+impl<B: Backend> Cluster<B> {
     /// Spins up `n` replicas of `store`, each burning
     /// `nanos_per_op` wall-clock nanoseconds per unit of store cost.
-    pub fn spawn(n: usize, store: &KvStore, nanos_per_op: u64) -> std::io::Result<Cluster> {
+    pub fn spawn(n: usize, store: &B, nanos_per_op: u64) -> std::io::Result<Cluster<B>>
+    where
+        B: Clone,
+    {
         assert!(n > 0, "a cluster needs at least one replica");
         Ok(Cluster {
             servers: spawn_replicas(n, store, TcpServerConfig { nanos_per_op })?,
@@ -243,7 +249,7 @@ impl Cluster {
     }
 
     /// Direct access to replica `idx`'s server.
-    pub fn server(&self, idx: usize) -> &TcpServer {
+    pub fn server(&self, idx: usize) -> &TcpServer<B> {
         &self.servers[idx]
     }
 

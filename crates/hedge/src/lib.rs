@@ -84,7 +84,7 @@ pub mod server;
 pub mod sync;
 pub mod transport;
 
-pub use client::{HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES};
+pub use client::{BudgetGovernor, HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES};
 pub use harness::{Arrivals, Cluster, LoadConfig, LoadReport, SicknessEvent};
 pub use rt::{race, select_all, Either, JoinHandle, Runtime, SelectAll, Sleep};
 pub use server::{spawn_replicas, TcpServer, TcpServerConfig};

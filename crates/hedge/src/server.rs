@@ -23,7 +23,7 @@
 
 use kvstore::resp::{decode_command, encode_reply};
 use kvstore::server::{Connection, MiniServer, ServerStats};
-use kvstore::KvStore;
+use kvstore::{Backend, KvStore};
 use kvstore::{Command, Reply};
 
 use bytes::BytesMut;
@@ -59,8 +59,8 @@ struct ConnState {
     dead: AtomicBool,
 }
 
-struct Shared {
-    server: Mutex<MiniServer>,
+struct Shared<B: Backend> {
+    server: Mutex<MiniServer<B>>,
     sweep_cv: Condvar,
     conns: Mutex<Vec<Arc<ConnState>>>,
     stop: AtomicBool,
@@ -69,20 +69,23 @@ struct Shared {
     nanos_per_op: AtomicU64,
 }
 
-/// A kvstore replica listening on a real TCP socket.
+/// A replica listening on a real TCP socket.
 ///
-/// Shuts down (and joins all threads) on [`TcpServer::shutdown`] or
-/// drop.
-pub struct TcpServer {
+/// Generic over the [`Backend`] it serves (a [`KvStore`] by default, a
+/// BM25 index shard for scatter-gather fan-out, …); the transport —
+/// RESP framing, round-robin sweep, wall-clock burn, tied-request
+/// cancellation — is backend-agnostic. Shuts down (and joins all
+/// threads) on [`TcpServer::shutdown`] or drop.
+pub struct TcpServer<B: Backend = KvStore> {
     local_addr: SocketAddr,
-    shared: Arc<Shared>,
+    shared: Arc<Shared<B>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
-impl TcpServer {
+impl<B: Backend> TcpServer<B> {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// serving `store`.
-    pub fn bind(addr: &str, store: KvStore, cfg: TcpServerConfig) -> std::io::Result<Self> {
+    pub fn bind(addr: &str, store: B, cfg: TcpServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -126,8 +129,8 @@ impl TcpServer {
         self.shared.server.lock().unwrap().stats()
     }
 
-    /// Direct store access (dataset loading before serving).
-    pub fn with_store<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
+    /// Direct backend access (dataset loading before serving).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut B) -> R) -> R {
         f(self.shared.server.lock().unwrap().store_mut())
     }
 
@@ -161,13 +164,13 @@ impl TcpServer {
     }
 }
 
-impl Drop for TcpServer {
+impl<B: Backend> Drop for TcpServer<B> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop<B: Backend>(listener: &TcpListener, shared: &Arc<Shared<B>>) {
     while !shared.stop.load(Ordering::SeqCst) {
         let Ok((stream, _)) = listener.accept() else {
             continue;
@@ -200,7 +203,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn reader_loop(mut stream: TcpStream, state: &Arc<ConnState>, shared: &Arc<Shared>) {
+fn reader_loop<B: Backend>(mut stream: TcpStream, state: &Arc<ConnState>, shared: &Arc<Shared<B>>) {
     let mut buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
     while !shared.stop.load(Ordering::SeqCst) {
@@ -280,7 +283,7 @@ fn flush_conn(conn: &ConnState) {
     }
 }
 
-fn sweep_loop(shared: &Arc<Shared>) {
+fn sweep_loop<B: Backend>(shared: &Arc<Shared<B>>) {
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -322,7 +325,7 @@ fn sweep_loop(shared: &Arc<Shared>) {
 }
 
 /// Forwards every connection's pending outbound bytes to its socket.
-fn flush_replies(shared: &Arc<Shared>) {
+fn flush_replies<B: Backend>(shared: &Arc<Shared<B>>) {
     let conns = shared.conns.lock().unwrap();
     for conn in conns.iter() {
         flush_conn(conn);
@@ -335,7 +338,7 @@ fn flush_replies(shared: &Arc<Shared>) {
 /// append at the tail and remove here, under both locks. Without this
 /// the sweep and broadcast loops scan dead connections forever and
 /// memory grows with every client that ever connected.
-fn reap_dead(shared: &Arc<Shared>) {
+fn reap_dead<B: Backend>(shared: &Arc<Shared<B>>) {
     if !shared
         .conns
         .lock()
@@ -374,11 +377,11 @@ fn burn(d: Duration) {
 
 /// Convenience: spins up `n` replica servers over the same dataset
 /// snapshot, each on an ephemeral local port.
-pub fn spawn_replicas(
+pub fn spawn_replicas<B: Backend + Clone>(
     n: usize,
-    store: &KvStore,
+    store: &B,
     cfg: TcpServerConfig,
-) -> std::io::Result<Vec<TcpServer>> {
+) -> std::io::Result<Vec<TcpServer<B>>> {
     (0..n)
         .map(|_| TcpServer::bind("127.0.0.1:0", store.clone(), cfg))
         .collect()

@@ -13,15 +13,20 @@
 //!
 //! A connection that breaks (replica restart, broken pipe) does not
 //! poison its pool slot: the request that observed the failure is
-//! retried once on a freshly dialed socket (sequence numbers restart
-//! at zero on both sides) before its error is surfaced, and later
-//! requests keep re-dialing — so a restarted replica heals
-//! transparently while a still-down replica fails fast.
+//! retried on freshly dialed sockets (sequence numbers restart at zero
+//! on both sides) — up to [`MAX_ATTEMPTS`] attempts with jittered
+//! exponential backoff — before its error is surfaced, and later
+//! requests keep re-dialing. A restarted replica heals transparently;
+//! a flapping one degrades (each failed attempt feeds the error EWMA,
+//! steering reissues elsewhere) instead of erroring every job; a
+//! still-down replica fails fast (dial refusals are immediate).
 
 use crate::sync::{oneshot, CancelToken, RecvFuture, Sender};
 use bytes::BytesMut;
 use kvstore::resp::{decode_reply, encode_command};
 use kvstore::{Command, Reply};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use std::future::Future;
 use std::io::{Read, Write};
@@ -361,6 +366,24 @@ fn retry_safe(cmd: &Command) -> bool {
     !matches!(cmd, Command::Del(_) | Command::SAdd(..))
 }
 
+/// Per-job bound on request attempts (initial + retries), counting
+/// both failed reconnect dials and attempts that died mid-request.
+pub const MAX_ATTEMPTS: usize = 4;
+
+/// First retry backoff; doubles per attempt up to [`BACKOFF_CAP_US`],
+/// scaled by a uniform `0.5..1.5` jitter so a pool's connections don't
+/// re-dial a flapping replica in lockstep.
+const BACKOFF_BASE_US: u64 = 200;
+const BACKOFF_CAP_US: u64 = 5_000;
+
+/// Sleeps the jittered exponential backoff before retry `attempt`
+/// (1-based: the first retry sleeps ~`BACKOFF_BASE_US`).
+fn backoff(attempt: usize, rng: &mut SmallRng) {
+    let exp = (BACKOFF_BASE_US << (attempt.saturating_sub(1)).min(6)).min(BACKOFF_CAP_US);
+    let jittered = exp as f64 * (0.5 + rng.gen::<f64>());
+    std::thread::sleep(Duration::from_micros(jittered as u64));
+}
+
 fn connect_socket(addr: SocketAddr) -> std::io::Result<TcpStream> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -479,10 +502,16 @@ fn conn_loop(
     let mut chunk = [0u8; 16 * 1024];
     // Set when the socket is known broken, so the next job reconnects
     // up front instead of burning its first attempt on a dead socket.
-    // The slot is never poisoned permanently: every job gets one fresh
-    // socket before its error is surfaced (a replica *restart* heals
-    // transparently; a replica that is still down fails fast).
+    // The slot is never poisoned permanently: every job gets fresh
+    // sockets (bounded by `MAX_ATTEMPTS`, with jittered backoff
+    // between dials) before its error is surfaced. A replica *restart*
+    // heals transparently; a *flapping* replica degrades — every
+    // failed attempt feeds the error EWMA, steering reissue targeting
+    // away — rather than erroring the whole fan-out leg; a replica
+    // that is still down fails fast (connection refusals return
+    // immediately, so the bounded loop costs only the backoff).
     let mut broken = false;
+    let mut rng = SmallRng::seed_from_u64(u64::from(addr.port()) ^ 0xBAC0FF);
 
     for job in jobs.iter() {
         // Cancelled while queued: never touches the wire.
@@ -491,21 +520,29 @@ fn conn_loop(
             continue;
         }
         let dispatched = std::time::Instant::now();
-        // One retry on a fresh socket: attempt 1 may run on the
-        // existing connection, attempt 2 only after a reconnect. A
-        // retried command may execute twice if the connection died
+        // Bounded retries on fresh sockets: attempt 1 may run on the
+        // existing connection, later attempts only after a reconnect.
+        // A retried command may execute twice if the connection died
         // after the server executed but before it replied — safe only
         // for commands whose *reply* is unaffected by re-execution
         // (`retry_safe`), so counting mutations surface the ambiguous
-        // failure to the caller instead.
-        let mut retried = false;
+        // failure to the caller instead. Each failed attempt (dial or
+        // request) penalizes the error EWMA individually, so the
+        // health signal sees flapping even when the job eventually
+        // succeeds.
+        let mut attempt = 0usize;
         let outcome = loop {
             if broken {
-                match reconnect(addr, &mut io) {
-                    Ok(()) => broken = false,
-                    Err(e) => break Err(TransportError::Io(e.to_string())),
+                if let Err(e) = reconnect(addr, &mut io) {
+                    health.record_error();
+                    attempt += 1;
+                    if attempt >= MAX_ATTEMPTS || job.token.is_cancelled() {
+                        break Err(TransportError::Io(e.to_string()));
+                    }
+                    backoff(attempt, &mut rng);
+                    continue;
                 }
-                retried = true;
+                broken = false;
             }
             match attempt_request(&mut io, &job, &mut chunk) {
                 Ok(reply) => break Ok(reply),
@@ -513,11 +550,14 @@ fn conn_loop(
                     if matches!(e, TransportError::Protocol(_)) {
                         // Desynced reply stream: dial fresh next job.
                         broken = true;
+                        health.record_error();
                     }
                     break Err(e);
                 }
                 Err(AttemptError::Retryable(e)) => {
                     broken = true;
+                    health.record_error();
+                    attempt += 1;
                     // A cancelled loser must not be re-executed — and
                     // the failure surfaces as the transport error, NOT
                     // `Cancelled`: the server never confirmed a
@@ -525,9 +565,11 @@ fn conn_loop(
                     // before the connection died), so the caller must
                     // not count it as a clean in-time cancel or derive
                     // a censoring bound from it.
-                    if retried || job.token.is_cancelled() || !retry_safe(&job.cmd) {
+                    if attempt >= MAX_ATTEMPTS || job.token.is_cancelled() || !retry_safe(&job.cmd)
+                    {
                         break Err(e);
                     }
+                    backoff(attempt, &mut rng);
                 }
             }
         };
@@ -538,7 +580,8 @@ fn conn_loop(
             Ok(_) => health.record_latency(took_ms),
             // A clean retraction is not a speed sample — only a bound.
             Err(TransportError::Cancelled) => health.record_censored_latency(took_ms),
-            Err(_) => health.record_error(),
+            // Failed attempts already fed the error EWMA one by one.
+            Err(_) => {}
         }
         if std::env::var_os("HEDGE_DEBUG").is_some() {
             let took = took_ms;
@@ -709,6 +752,87 @@ mod tests {
         }
         drop(replica);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn flaky_replica_heals_within_bounded_retries_and_feeds_error_ewma() {
+        use kvstore::resp::{decode_command, encode_reply};
+
+        // A flapping replica: the first two connections are accepted
+        // and dropped unserved, the third serves normally. One request
+        // must survive this inside its MAX_ATTEMPTS budget — and every
+        // failed attempt must penalize the error EWMA even though the
+        // job ultimately succeeds (that penalty is what steers reissue
+        // targeting away from a flapping shard leg).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for i in 0..3 {
+                let Ok((mut s, _)) = listener.accept() else {
+                    return;
+                };
+                if i < 2 {
+                    continue; // dropped unserved: broken pipe client-side
+                }
+                let mut buf = BytesMut::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    if let Ok(Some(cmd)) = decode_command(&mut buf) {
+                        assert_eq!(cmd, Command::Ping);
+                        let mut out = BytesMut::new();
+                        encode_reply(&Reply::Pong, &mut out);
+                        s.write_all(&out).unwrap();
+                        continue;
+                    }
+                    match s.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+            }
+        });
+
+        let replica = Replica::connect(addr, 1).unwrap();
+        let rt = Runtime::new(1);
+        let out = rt.block_on(replica.request(Command::Ping, CancelToken::new()));
+        assert_eq!(out, Ok(Reply::Pong), "third socket heals within bounds");
+        assert!(
+            replica.health().error_ewma() > 0.0,
+            "failed attempts must feed the EWMA despite eventual success"
+        );
+        // The healed connection serves follow-ups without drama.
+        let out = rt.block_on(replica.request(Command::Ping, CancelToken::new()));
+        assert_eq!(out, Ok(Reply::Pong));
+        drop(replica);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn down_replica_fails_bounded_not_forever() {
+        // Replica goes down and stays down: the bounded retry loop
+        // must surface an error quickly (refused dials + capped
+        // jittered backoff), not spin forever, and the error EWMA must
+        // reflect the attempts.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let replica = Replica::connect(addr, 1).unwrap();
+        let (sock, _) = listener.accept().unwrap();
+        drop(sock); // kill the pooled connection...
+        drop(listener); // ...and refuse every retry dial
+        let rt = Runtime::new(1);
+        let t0 = std::time::Instant::now();
+        let out = rt.block_on(replica.request(Command::Ping, CancelToken::new()));
+        assert!(out.is_err(), "no server, no reply");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "bounded retries must fail fast, took {:?}",
+            t0.elapsed()
+        );
+        assert!(
+            replica.health().error_ewma() > 0.1,
+            "every attempt penalizes the EWMA: {}",
+            replica.health().error_ewma()
+        );
     }
 
     #[test]

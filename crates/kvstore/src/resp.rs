@@ -6,7 +6,7 @@
 //! strings or arrays. Incremental parsing: [`decode_command`] returns
 //! `Ok(None)` until a full frame is buffered.
 
-use crate::store::{Command, Reply};
+use crate::store::{Command, Hit, Reply};
 use bytes::{Buf, Bytes, BytesMut};
 
 /// Errors from protocol handling.
@@ -47,6 +47,15 @@ pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
             out.extend_from_slice(format!("*{}\r\n", ms.len()).as_bytes());
             for m in ms {
                 let s = m.to_string();
+                out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
+            }
+        }
+        // Hits travel as `doc@score_bits` bulk strings; the `@` is what
+        // lets the client-side decoder tell them from `Members`.
+        Reply::Hits(hits) => {
+            out.extend_from_slice(format!("*{}\r\n", hits.len()).as_bytes());
+            for h in hits {
+                let s = format!("{}@{}", h.doc, h.score_bits());
                 out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
             }
         }
@@ -100,6 +109,15 @@ pub fn decode_command(buf: &mut BytesMut) -> Result<Option<Command>, RespError> 
             Ok(Some(Command::SAdd(arg(1), members)))
         }
         "SCARD" if arity == 1 => Ok(Some(Command::SCard(arg(1)))),
+        // SEARCH <k> <term>... — zero terms is a legal (empty) query.
+        "SEARCH" if arity >= 1 => {
+            let k = int_arg(1)?;
+            let mut terms = Vec::with_capacity(arity - 1);
+            for i in 2..args.len() {
+                terms.push(int_arg(i)?);
+            }
+            Ok(Some(Command::Search { terms, k }))
+        }
         "SINTER" if arity == 2 => Ok(Some(Command::SInter(arg(1), arg(2)))),
         "SINTERCARD" if arity == 2 => Ok(Some(Command::SInterCard(arg(1), arg(2)))),
         "CANCEL" if arity == 1 => {
@@ -109,9 +127,8 @@ pub fn decode_command(buf: &mut BytesMut) -> Result<Option<Command>, RespError> 
                 .ok_or(RespError::BadArguments("sequence number expected"))?;
             Ok(Some(Command::Cancel(seq)))
         }
-        "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SINTER" | "SINTERCARD" | "CANCEL" => {
-            Err(RespError::BadArguments("wrong arity"))
-        }
+        "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SEARCH" | "SINTER" | "SINTERCARD"
+        | "CANCEL" => Err(RespError::BadArguments("wrong arity")),
         other => Err(RespError::UnknownCommand(other.to_string())),
     }
 }
@@ -134,6 +151,11 @@ pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
             p
         }
         Command::SCard(k) => vec![b"SCARD".to_vec(), k.to_vec()],
+        Command::Search { terms, k } => {
+            let mut p = vec![b"SEARCH".to_vec(), k.to_string().into_bytes()];
+            p.extend(terms.iter().map(|t| t.to_string().into_bytes()));
+            p
+        }
         Command::SInter(a, b) => vec![b"SINTER".to_vec(), a.to_vec(), b.to_vec()],
         Command::SInterCard(a, b) => {
             vec![b"SINTERCARD".to_vec(), a.to_vec(), b.to_vec()]
@@ -274,6 +296,23 @@ impl Cursor<'_> {
                     Some(items) => items,
                     None => return Ok(None),
                 };
+                // `doc@bits` elements are scored hits; plain integers
+                // are set members. An empty array is ambiguous and
+                // decodes as `Members(vec![])` — callers expecting hits
+                // must treat that as zero hits.
+                if items.iter().any(|i| i.contains(&b'@')) {
+                    let mut hits = Vec::with_capacity(items.len());
+                    for item in items {
+                        let s = std::str::from_utf8(&item)
+                            .map_err(|_| RespError::Protocol("non-utf8 hit in array".into()))?;
+                        let (doc, bits) = s
+                            .split_once('@')
+                            .and_then(|(d, b)| Some((d.parse().ok()?, b.parse().ok()?)))
+                            .ok_or_else(|| RespError::Protocol("malformed hit in array".into()))?;
+                        hits.push(Hit::from_bits(doc, bits));
+                    }
+                    return Ok(Some(Reply::Hits(hits)));
+                }
                 let mut members = Vec::with_capacity(items.len());
                 for item in items {
                     let m: u32 = std::str::from_utf8(&item)
@@ -416,6 +455,61 @@ mod tests {
             encode_reply(&reply, &mut out);
             assert_eq!(&out[..], want);
         }
+    }
+
+    #[test]
+    fn search_command_roundtrip() {
+        let cmds = vec![
+            Command::Search {
+                terms: vec![15, 40, 200],
+                k: 10,
+            },
+            Command::Search {
+                terms: vec![],
+                k: 3,
+            },
+        ];
+        for cmd in cmds {
+            let mut wire = BytesMut::new();
+            encode_command(&cmd, &mut wire);
+            assert_eq!(decode_command(&mut wire).unwrap().unwrap(), cmd);
+            assert!(wire.is_empty());
+        }
+        // Bare SEARCH (no k) is an arity error.
+        let mut b = buf(b"*1\r\n$6\r\nSEARCH\r\n");
+        assert!(matches!(
+            decode_command(&mut b),
+            Err(RespError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn hits_reply_roundtrip_exact_scores() {
+        let hits = vec![
+            Hit::new(42, 3.25190381),
+            Hit::new(7_000_000_123, -0.5),
+            Hit::new(0, f64::MAX),
+        ];
+        let mut wire = BytesMut::new();
+        encode_reply(&Reply::Hits(hits.clone()), &mut wire);
+        let decoded = decode_reply(&mut wire).unwrap().unwrap();
+        assert_eq!(decoded, Reply::Hits(hits.clone()));
+        match decoded {
+            Reply::Hits(got) => {
+                for (g, w) in got.iter().zip(&hits) {
+                    assert_eq!(g.score().to_bits(), w.score().to_bits());
+                }
+            }
+            other => panic!("expected hits, got {other:?}"),
+        }
+        // Empty hit arrays are indistinguishable from empty member
+        // arrays on the wire and decode as Members.
+        let mut wire = BytesMut::new();
+        encode_reply(&Reply::Hits(vec![]), &mut wire);
+        assert_eq!(
+            decode_reply(&mut wire).unwrap().unwrap(),
+            Reply::Members(vec![])
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! mutexes, so clients may live on other threads.
 
 use crate::resp::{decode_command, encode_reply, RespError};
-use crate::store::{KvStore, Reply};
+use crate::store::{Backend, KvStore, Reply};
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -94,17 +94,21 @@ pub struct ServerStats {
     pub protocol_errors: u64,
 }
 
-/// The single-threaded server: a store plus its connections.
+/// The single-threaded server: a backend plus its connections.
+///
+/// Generic over the [`Backend`] it serves — [`KvStore`] by default, a
+/// BM25 index shard for the scatter-gather fan-out workload, or any
+/// other command interpreter with deterministic costs.
 #[derive(Debug, Default)]
-pub struct MiniServer {
-    store: KvStore,
+pub struct MiniServer<B: Backend = KvStore> {
+    store: B,
     connections: Vec<Connection>,
     stats: ServerStats,
 }
 
-impl MiniServer {
-    /// Creates a server around an existing store.
-    pub fn new(store: KvStore) -> Self {
+impl<B: Backend> MiniServer<B> {
+    /// Creates a server around an existing backend.
+    pub fn new(store: B) -> Self {
         MiniServer {
             store,
             connections: Vec::new(),
@@ -135,8 +139,8 @@ impl MiniServer {
         self.connections.remove(idx)
     }
 
-    /// Direct access to the store (loading datasets, assertions).
-    pub fn store_mut(&mut self) -> &mut KvStore {
+    /// Direct access to the backend (loading datasets, assertions).
+    pub fn store_mut(&mut self) -> &mut B {
         &mut self.store
     }
 

@@ -33,11 +33,57 @@ pub enum Command {
     SInter(Bytes, Bytes),
     /// Cardinality of the intersection of two set keys.
     SInterCard(Bytes, Bytes),
+    /// Top-k full-text retrieval over a search backend (term ids plus
+    /// the result count). The kvstore itself does not index documents —
+    /// it answers with an error — but the command travels the same RESP
+    /// wire so a search [`Backend`] can serve scatter-gather fan-out.
+    Search {
+        /// Query term ids.
+        terms: Vec<u32>,
+        /// Number of hits requested.
+        k: u32,
+    },
     /// Tied-request cancellation: retract the not-yet-executed request
     /// with this per-connection sequence number. Interpreted by the
     /// transport layer (`hedge::TcpServer`); if one reaches the store
     /// itself (no transport in between) it is a harmless no-op.
     Cancel(u64),
+}
+
+/// One scored search result as carried in a [`Reply::Hits`].
+///
+/// The BM25 score is stored as raw `f64` bits so `Reply` keeps its
+/// `Eq` derive and the value round-trips the wire exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hit {
+    /// Global document id (unique across shards).
+    pub doc: u64,
+    score_bits: u64,
+}
+
+impl Hit {
+    /// Creates a hit from a document id and score.
+    pub fn new(doc: u64, score: f64) -> Self {
+        Hit {
+            doc,
+            score_bits: score.to_bits(),
+        }
+    }
+
+    /// Reconstructs a hit from the raw score bits (wire decoding).
+    pub fn from_bits(doc: u64, score_bits: u64) -> Self {
+        Hit { doc, score_bits }
+    }
+
+    /// The score as a float.
+    pub fn score(&self) -> f64 {
+        f64::from_bits(self.score_bits)
+    }
+
+    /// The raw score bits (wire encoding).
+    pub fn score_bits(&self) -> u64 {
+        self.score_bits
+    }
 }
 
 /// A command reply.
@@ -53,10 +99,30 @@ pub enum Reply {
     Int(i64),
     /// A set payload (member array).
     Members(Vec<u32>),
+    /// Scored search results, best first (search backends only).
+    Hits(Vec<Hit>),
     /// Key missing (`$-1`).
     Nil,
     /// An error, e.g. type mismatch.
     Error(String),
+}
+
+/// What a replica serves: any state machine that executes [`Command`]s
+/// and reports a deterministic cost in elementary operations.
+///
+/// `hedge::TcpServer` and `MiniServer` are generic over this trait, so
+/// the same RESP/TCP transport, cancellation, and sweep loop can front
+/// a [`KvStore`], a BM25 index shard, or anything else. The cost is
+/// what the server burns as service time (`cost × nanos_per_op`).
+pub trait Backend: Send + 'static {
+    /// Executes one command, returning the reply and its cost.
+    fn execute(&mut self, cmd: &Command) -> (Reply, u64);
+}
+
+impl Backend for KvStore {
+    fn execute(&mut self, cmd: &Command) -> (Reply, u64) {
+        KvStore::execute(self, cmd)
+    }
 }
 
 /// The in-memory store: a flat keyspace with command execution.
@@ -159,6 +225,9 @@ impl KvStore {
                 (None, _) | (_, None) => (Reply::Int(0), 2),
                 _ => (Reply::Error("WRONGTYPE".into()), 2),
             },
+            // The kvstore holds no inverted index; SEARCH belongs to a
+            // search backend sharing the wire format.
+            Command::Search { .. } => (Reply::Error("SEARCH unsupported by kvstore".into()), 1),
             // Nothing outstanding at store level: the transport already
             // consumed any retractable request before execution.
             Command::Cancel(_) => (Reply::Ok, 1),

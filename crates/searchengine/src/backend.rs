@@ -1,0 +1,123 @@
+//! The search engine as a servable [`Backend`]: a BM25 index shard
+//! behind the kvstore's RESP/TCP transport.
+//!
+//! `hedge::TcpServer` is generic over [`kvstore::Backend`], so an index
+//! shard serves on exactly the wire the replicated kvstore uses — same
+//! framing, same tied-request cancellation, same `cost × nanos_per_op`
+//! wall-clock burn. This is what makes BM25 scatter-gather the
+//! canonical fan-out workload: `crates/shard` spawns one replica group
+//! per [`SearchBackend`] shard and merges per-shard top-k in the
+//! aggregator.
+
+use crate::bm25::search;
+use crate::index::InvertedIndex;
+use kvstore::{Backend, Command, Hit, Reply};
+
+/// One document-partitioned index shard serving [`Command::Search`].
+///
+/// Document partitioning (shard `s` of `n` holds every document with
+/// `global_doc % n == s`, equivalently local doc `d` maps to global
+/// `d * n + s`) means every query fans out to *all* shards and each
+/// shard returns its local top-k — the aggregator merges. Local doc
+/// ids are mapped to globally unique ids in replies so merged result
+/// lists never collide across shards.
+#[derive(Clone, Debug)]
+pub struct SearchBackend {
+    index: InvertedIndex,
+    shard: u64,
+    shards: u64,
+    base_ops: u64,
+}
+
+impl SearchBackend {
+    /// Wraps an index as shard `shard` of `shards`, adding `base_ops`
+    /// fixed overhead (query parsing/assembly work) to every search's
+    /// reported cost — the same constant [`crate::QueryWorkloadConfig`]
+    /// applies when measuring traces, so served and traced service
+    /// times agree.
+    pub fn new(index: InvertedIndex, shard: usize, shards: usize, base_ops: u64) -> Self {
+        assert!(shards > 0 && shard < shards, "shard index out of range");
+        SearchBackend {
+            index,
+            shard: shard as u64,
+            shards: shards as u64,
+            base_ops,
+        }
+    }
+
+    /// A single-shard (unsharded) backend.
+    pub fn single(index: InvertedIndex, base_ops: u64) -> Self {
+        Self::new(index, 0, 1, base_ops)
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Maps a shard-local doc id to its globally unique id.
+    pub fn global_doc(&self, local: u32) -> u64 {
+        u64::from(local) * self.shards + self.shard
+    }
+}
+
+impl Backend for SearchBackend {
+    fn execute(&mut self, cmd: &Command) -> (Reply, u64) {
+        match cmd {
+            Command::Ping => (Reply::Pong, 1),
+            Command::Search { terms, k } => {
+                let (hits, cost) = search(&self.index, terms, *k as usize);
+                let hits: Vec<Hit> = hits
+                    .iter()
+                    .map(|h| Hit::new(self.global_doc(h.doc), h.score))
+                    .collect();
+                (Reply::Hits(hits), cost + self.base_ops)
+            }
+            // Transport-level; a no-op if it ever reaches the backend.
+            Command::Cancel(_) => (Reply::Ok, 1),
+            _ => (Reply::Error("unsupported by search backend".into()), 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+
+    #[test]
+    fn serves_search_with_global_doc_ids() {
+        let index = Corpus::generate(CorpusConfig::small(7)).build_index();
+        let mut shard = SearchBackend::new(index.clone(), 2, 4, 500);
+        let (reply, cost) = Backend::execute(
+            &mut shard,
+            &Command::Search {
+                terms: vec![0, 5],
+                k: 5,
+            },
+        );
+        let (want, raw_cost) = search(&index, &[0, 5], 5);
+        assert_eq!(cost, raw_cost + 500);
+        match reply {
+            Reply::Hits(hits) => {
+                assert_eq!(hits.len(), want.len());
+                for (h, w) in hits.iter().zip(&want) {
+                    assert_eq!(h.doc, u64::from(w.doc) * 4 + 2);
+                    assert_eq!(h.score().to_bits(), w.score.to_bits());
+                    assert_eq!(h.doc % 4, 2, "global ids keep the shard residue");
+                }
+            }
+            other => panic!("expected hits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_kv_commands() {
+        let index = Corpus::generate(CorpusConfig::small(8)).build_index();
+        let mut shard = SearchBackend::single(index, 0);
+        let (reply, _) = Backend::execute(&mut shard, &Command::Get("k".into()));
+        assert!(matches!(reply, Reply::Error(_)));
+        let (reply, _) = Backend::execute(&mut shard, &Command::Ping);
+        assert_eq!(reply, Reply::Pong);
+    }
+}

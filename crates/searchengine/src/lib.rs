@@ -13,7 +13,11 @@
 //!   the 33 M-article English Wikipedia dump the paper indexes;
 //! * [`workload`] — a query log generator calibrated to the paper's
 //!   measured service-time distribution (µ_L ≈ 39.7 ms, σ_L ≈ 21.9 ms,
-//!   ~1 % of queries above 100 ms).
+//!   ~1 % of queries above 100 ms), plus the shared sharded fan-out
+//!   workload ([`ShardedQueryWorkload`]);
+//! * [`backend`] — the engine as a servable [`kvstore::Backend`]
+//!   ([`SearchBackend`]), so `hedge::TcpServer` fronts BM25 index
+//!   shards for the scatter-gather fan-out experiments.
 //!
 //! The paper's Lucene observation is that a single global FIFO over a
 //! moderate-mean, light-tailed service distribution already yields good
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bm25;
 pub mod corpus;
 pub mod tokenize;
@@ -31,8 +36,9 @@ pub mod workload;
 
 mod index;
 
+pub use backend::SearchBackend;
 pub use bm25::{search, SearchHit};
 pub use corpus::{Corpus, CorpusConfig};
 pub use index::{IndexBuilder, InvertedIndex, Posting};
 pub use tokenize::Vocabulary;
-pub use workload::{QueryTrace, QueryWorkloadConfig};
+pub use workload::{QueryTrace, QueryWorkloadConfig, ShardedQueryWorkload};

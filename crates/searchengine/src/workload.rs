@@ -152,6 +152,99 @@ impl QueryTrace {
     }
 }
 
+/// The shared sharded-search workload: per-shard corpora, the query
+/// log, and the command generator, in one place (mirroring
+/// `kvstore::workload::store_with_monsters`) so the fan-out example,
+/// the integration tests, and `figures -- fanout` all drive
+/// **identical** shard traffic.
+///
+/// Document-partitioned: every shard gets its own `docs`-sized corpus
+/// (same statistics, distinct seed), so the per-shard service-time
+/// distribution is *constant in the fan-out width* — exactly the
+/// premise of the (0.99)^N compounding argument. The query trace is
+/// measured against shard 0; with identically distributed shards it
+/// stands in for any leg.
+#[derive(Clone, Debug)]
+pub struct ShardedQueryWorkload {
+    /// One inverted index per shard.
+    pub indices: Vec<InvertedIndex>,
+    /// The query log with per-query costs measured against shard 0.
+    pub trace: QueryTrace,
+    /// Fixed per-query overhead in postings-scan units (kept for
+    /// building backends with the same constant the trace used).
+    pub base_ops: u64,
+    /// Results requested per query.
+    pub top_k: usize,
+}
+
+impl ShardedQueryWorkload {
+    /// Generates `shards` identically distributed corpora from
+    /// `corpus` (reseeded per shard) and the query log from
+    /// `queries`; `ns_per_posting` converts measured postings to time.
+    pub fn generate(
+        shards: usize,
+        corpus: crate::corpus::CorpusConfig,
+        queries: QueryWorkloadConfig,
+        ns_per_posting: f64,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let indices: Vec<InvertedIndex> = (0..shards)
+            .map(|s| {
+                let mut cfg = corpus;
+                cfg.seed = corpus.seed.wrapping_add(0x9E37_79B9 * s as u64);
+                crate::corpus::Corpus::generate(cfg).build_index()
+            })
+            .collect();
+        let trace = QueryTrace::generate(&indices[0], queries, ns_per_posting);
+        ShardedQueryWorkload {
+            indices,
+            trace,
+            base_ops: queries.base_ops,
+            top_k: queries.top_k,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Mean per-shard (single-leg) service time, ms.
+    pub fn mean_leg_ms(&self) -> f64 {
+        self.trace.mean_ms()
+    }
+
+    /// One [`crate::backend::SearchBackend`] per shard, with the same
+    /// `base_ops` the trace was measured with.
+    pub fn backends(&self) -> Vec<crate::backend::SearchBackend> {
+        let n = self.indices.len();
+        self.indices
+            .iter()
+            .enumerate()
+            .map(|(s, idx)| crate::backend::SearchBackend::new(idx.clone(), s, n, self.base_ops))
+            .collect()
+    }
+
+    /// The broadcast command for arrival `i` (the query log cycles).
+    pub fn command(&self, i: usize) -> kvstore::Command {
+        kvstore::Command::Search {
+            terms: self.trace.queries[i % self.trace.queries.len()].clone(),
+            k: self.top_k as u32,
+        }
+    }
+
+    /// An owning `'static` command generator for load runners that
+    /// outlive the borrow (e.g. `Cluster::run_load`'s pacer task).
+    pub fn command_fn(&self) -> impl FnMut(usize) -> kvstore::Command + Send + 'static {
+        let queries = self.trace.queries.clone();
+        let k = self.top_k as u32;
+        move |i| kvstore::Command::Search {
+            terms: queries[i % queries.len()].clone(),
+            k,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +313,42 @@ mod tests {
         let m = t.mean_ms();
         assert!(t.frac_above(0.0) >= t.frac_above(m));
         assert!(t.frac_above(m) >= t.frac_above(100.0 * m));
+    }
+
+    #[test]
+    fn sharded_workload_is_deterministic_and_distinct_per_shard() {
+        let mk = || {
+            ShardedQueryWorkload::generate(
+                3,
+                CorpusConfig::small(9),
+                QueryWorkloadConfig {
+                    num_queries: 50,
+                    ..QueryWorkloadConfig::default()
+                },
+                100.0,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.shards(), 3);
+        assert_eq!(a.trace.queries, b.trace.queries);
+        assert_eq!(a.trace.costs_ms, b.trace.costs_ms);
+        // Shards share statistics but not content: distinct seeds give
+        // distinct document frequencies for at least some term.
+        assert!(
+            (0..100u32).any(|t| a.indices[0].df(t) != a.indices[1].df(t)),
+            "shard corpora should differ"
+        );
+        // Commands cycle through the log.
+        assert_eq!(a.command(0), a.command(50));
+        let mut f = a.command_fn();
+        assert_eq!(f(7), a.command(7));
+        // Backends carry the trace's base_ops: a served search costs
+        // exactly what the trace measured for the same query.
+        let mut backends = a.backends();
+        let (_, served) = kvstore::Backend::execute(&mut backends[0], &a.command(0));
+        let expected_ms = served as f64 * 100.0 / 1e6;
+        assert!((expected_ms - a.trace.costs_ms[0]).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Open-loop load generation for scatter-gather fan-outs, mirroring
+//! [`hedge::harness::Cluster::run_load`]: arrivals on a clock, bounded
+//! admission with counted drops, exact completion accounting, scripted
+//! per-replica sickness — plus the fan-out-specific accounting the
+//! single-group harness has no notion of (aggregate vs per-leg
+//! latency, degraded completions).
+
+use crate::cluster::ShardedCluster;
+use crate::fanout::FanoutClient;
+
+use hedge::harness::Arrivals;
+use kvstore::{Backend, Command};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use reissue_core::metrics::LogHistogram;
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One scripted mid-run change to a replica's service speed, addressed
+/// by `(shard, replica)` and applied once the generator has *offered*
+/// (dispatched or dropped) `at_query` arrivals.
+#[derive(Clone, Copy, Debug)]
+pub struct FanoutSickness {
+    /// Arrival index at which to apply the change.
+    pub at_query: usize,
+    /// Target shard group.
+    pub shard: usize,
+    /// Target replica within the shard group.
+    pub replica: usize,
+    /// New wall-clock nanoseconds per unit of store cost.
+    pub nanos_per_op: u64,
+}
+
+/// Configuration for one open-loop fan-out load run.
+#[derive(Clone, Debug)]
+pub struct FanoutLoadConfig {
+    /// Number of fan-out arrivals to offer (each arrival queries
+    /// *every* shard).
+    pub queries: usize,
+    /// The inter-arrival process.
+    pub arrivals: Arrivals,
+    /// Bound on concurrently outstanding fan-outs; an arrival beyond
+    /// it is dropped and counted.
+    pub max_in_flight: usize,
+    /// Seed for the arrival process.
+    pub seed: u64,
+    /// Scripted sickness/heal events, applied by arrival index.
+    pub script: Vec<FanoutSickness>,
+}
+
+impl Default for FanoutLoadConfig {
+    /// 5 000 fan-outs, 1 ms fixed pacing, 256 in-flight cap.
+    fn default() -> Self {
+        FanoutLoadConfig {
+            queries: 5_000,
+            arrivals: Arrivals::Fixed { interval_us: 1_000 },
+            max_in_flight: 256,
+            seed: 0x10AD,
+            script: Vec::new(),
+        }
+    }
+}
+
+/// What one fan-out load run did. Accounting is exact:
+/// `queries == dispatched + dropped` and, once drained,
+/// `dispatched == completed + failed`. A fan-out **completes** when at
+/// least one leg returns (it is additionally counted `degraded` when
+/// some legs failed); it **fails** only when *every* leg failed.
+#[derive(Clone, Debug)]
+pub struct FanoutLoadReport {
+    /// Arrivals admitted and dispatched to all shards.
+    pub dispatched: u64,
+    /// Arrivals refused by admission control.
+    pub dropped: u64,
+    /// Fan-outs that resolved with at least one leg's reply.
+    pub completed: u64,
+    /// Fan-outs in which every leg failed.
+    pub failed: u64,
+    /// Completed fan-outs that lost at least one leg (partial
+    /// results served instead of an error).
+    pub degraded: u64,
+    /// Highest number of concurrently outstanding fan-outs observed.
+    pub peak_in_flight: usize,
+    /// Wall-clock duration of the run (first arrival to last drain).
+    pub elapsed: Duration,
+    /// End-to-end fan-out latency (all legs gathered), ms, per
+    /// completed fan-out.
+    pub aggregate_ms: LogHistogram,
+    /// Every successful leg's latency, ms, recorded directly into one
+    /// histogram.
+    pub leg_ms: LogHistogram,
+    /// The same leg latencies, recorded into one histogram **per
+    /// shard** — merging these must reproduce `leg_ms` exactly (the
+    /// log-histogram merge is lossless), which the integration tests
+    /// assert.
+    pub leg_ms_by_shard: Vec<LogHistogram>,
+}
+
+impl FanoutLoadReport {
+    /// Dispatched fan-outs unaccounted for — must be zero after a
+    /// drained run.
+    pub fn lost(&self) -> i64 {
+        self.dispatched as i64 - self.completed as i64 - self.failed as i64
+    }
+
+    /// Aggregate (all-legs) latency quantile, ms.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.aggregate_ms.quantile(p)
+    }
+
+    /// Single-leg latency quantile, ms — the per-shard tail the
+    /// aggregate compounds.
+    pub fn leg_quantile(&self, p: f64) -> Option<f64> {
+        self.leg_ms.quantile(p)
+    }
+
+    /// Fraction of arrivals dropped by admission control.
+    pub fn drop_rate(&self) -> f64 {
+        self.dropped as f64 / (self.dispatched + self.dropped).max(1) as f64
+    }
+}
+
+struct RunShared {
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    offered: AtomicU64,
+    dispatched: AtomicU64,
+    dropped: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    degraded: AtomicU64,
+    aggregate_ms: Mutex<LogHistogram>,
+    leg_ms: Mutex<LogHistogram>,
+    leg_ms_by_shard: Mutex<Vec<LogHistogram>>,
+}
+
+/// Drives `cfg.queries` fan-out arrivals through `client` open-loop —
+/// each arrival broadcasting `make_cmd(i)` to every shard — and waits
+/// for every dispatched fan-out to drain. Scripted [`FanoutSickness`]
+/// events are applied from the calling thread as the arrival count
+/// crosses their `at_query` (same contract as
+/// [`hedge::harness::Cluster::run_load`]).
+pub fn run_fanout_load<B: Backend>(
+    cluster: &ShardedCluster<B>,
+    client: &FanoutClient,
+    cfg: &FanoutLoadConfig,
+    make_cmd: impl FnMut(usize) -> Command + Send + 'static,
+) -> FanoutLoadReport {
+    let shards = client.shards();
+    let shared = Arc::new(RunShared {
+        in_flight: AtomicUsize::new(0),
+        peak_in_flight: AtomicUsize::new(0),
+        offered: AtomicU64::new(0),
+        dispatched: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        degraded: AtomicU64::new(0),
+        aggregate_ms: Mutex::new(LogHistogram::latency_ms()),
+        leg_ms: Mutex::new(LogHistogram::latency_ms()),
+        leg_ms_by_shard: Mutex::new(vec![LogHistogram::latency_ms(); shards]),
+    });
+    let started = Instant::now();
+    let pacer = {
+        let client = client.clone();
+        let shared = shared.clone();
+        let cfg_arrivals = cfg.arrivals;
+        let queries = cfg.queries;
+        let max_in_flight = cfg.max_in_flight.max(1);
+        let seed = cfg.seed;
+        let mut make_cmd = make_cmd;
+        let rt = client.runtime().clone();
+        rt.clone().spawn(async move {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Absolute arrival deadlines, as in the single-group
+            // harness: each advances by the sampled gap from the
+            // previous *deadline*, so pacer work never dilutes the
+            // offered rate.
+            let mut next_arrival = Instant::now();
+            for i in 0..queries {
+                let outstanding = shared.in_flight.load(Ordering::Relaxed);
+                if outstanding >= max_in_flight {
+                    shared.dropped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .peak_in_flight
+                        .fetch_max(outstanding + 1, Ordering::Relaxed);
+                    shared.dispatched.fetch_add(1, Ordering::Relaxed);
+                    // Latency clock starts at admission (coordinated
+                    // omission, as in Cluster::run_load). execute_all
+                    // dispatches every leg eagerly right here.
+                    let t0 = Instant::now();
+                    let cmd = make_cmd(i);
+                    let fut = client.execute_all(move |_shard| cmd.clone());
+                    let shared = shared.clone();
+                    rt.spawn(async move {
+                        let reply = fut.await;
+                        if reply.ok_legs() > 0 {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            shared.aggregate_ms.lock().unwrap().record(ms);
+                            {
+                                let mut leg_ms = shared.leg_ms.lock().unwrap();
+                                let mut by_shard = shared.leg_ms_by_shard.lock().unwrap();
+                                for leg in reply.legs.iter().filter(|l| l.result.is_ok()) {
+                                    leg_ms.record(leg.ms);
+                                    by_shard[leg.shard].record(leg.ms);
+                                }
+                            }
+                            shared.completed.fetch_add(1, Ordering::Relaxed);
+                            if reply.failed_legs() > 0 {
+                                shared.degraded.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            shared.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                shared.offered.fetch_add(1, Ordering::Relaxed);
+                let gap = cfg_arrivals.gap_after_us(i, &mut rng);
+                if gap > 0 {
+                    next_arrival += Duration::from_micros(gap);
+                    rt.sleep_until(next_arrival).await;
+                }
+            }
+        })
+    };
+
+    // The calling thread applies the sickness script by offered count
+    // (it holds the &cluster borrow; the pacer task must be 'static).
+    let mut script: Vec<FanoutSickness> = cfg.script.clone();
+    script.sort_by_key(|e| e.at_query);
+    let mut next_event = 0;
+    let poll = Duration::from_micros(200);
+    loop {
+        let offered = shared.offered.load(Ordering::Relaxed) as usize;
+        while next_event < script.len() && script[next_event].at_query <= offered {
+            let e = script[next_event];
+            cluster.set_nanos_per_op(e.shard, e.replica, e.nanos_per_op);
+            next_event += 1;
+        }
+        if offered >= cfg.queries {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+    client.runtime().block_on(pacer);
+    // Drain: every leg resolves with a reply or an error, so every
+    // dispatched fan-out resolves as completed or failed.
+    loop {
+        let done = shared.completed.load(Ordering::Relaxed) + shared.failed.load(Ordering::Relaxed);
+        if done >= shared.dispatched.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let aggregate_ms = shared.aggregate_ms.lock().unwrap().clone();
+    let leg_ms = shared.leg_ms.lock().unwrap().clone();
+    let leg_ms_by_shard = shared.leg_ms_by_shard.lock().unwrap().clone();
+    FanoutLoadReport {
+        dispatched: shared.dispatched.load(Ordering::Relaxed),
+        dropped: shared.dropped.load(Ordering::Relaxed),
+        completed: shared.completed.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        degraded: shared.degraded.load(Ordering::Relaxed),
+        peak_in_flight: shared.peak_in_flight.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        aggregate_ms,
+        leg_ms,
+        leg_ms_by_shard,
+    }
+}

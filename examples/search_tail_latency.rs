@@ -2,22 +2,36 @@
 //! synthetic Zipf corpus, measure real query costs, and hedge the
 //! simulated search cluster with SingleR.
 //!
+//! The corpus and query trace come from the shared
+//! [`ShardedQueryWorkload`] generator (degenerate single-shard case) —
+//! the same traffic the fan-out figure, the sharded example, and the
+//! integration tests serve over TCP.
+//!
 //! ```text
 //! cargo run --release --example search_tail_latency
 //! ```
 
 use reissue::policy::ReissuePolicy;
-use reissue::search::{search, Corpus, CorpusConfig, QueryTrace, QueryWorkloadConfig};
+use reissue::search::{search, CorpusConfig, QueryWorkloadConfig, ShardedQueryWorkload};
 use reissue::workloads::{self, RunConfig};
 
 fn main() {
-    // 1. Build the corpus and index (scaled down for a fast demo).
-    let corpus = Corpus::generate(CorpusConfig {
-        num_docs: 10_000,
-        vocab: 20_000,
-        ..CorpusConfig::default()
-    });
-    let index = corpus.build_index();
+    // 1. Generate the shared workload: one shard = one corpus + index,
+    //    plus a measured query trace (scaled down for a fast demo).
+    let mut wl = ShardedQueryWorkload::generate(
+        1,
+        CorpusConfig {
+            num_docs: 10_000,
+            vocab: 20_000,
+            ..CorpusConfig::default()
+        },
+        QueryWorkloadConfig {
+            num_queries: 10_000,
+            ..QueryWorkloadConfig::default()
+        },
+        100.0,
+    );
+    let index = &wl.indices[0];
     println!(
         "index: {} docs, {} terms, avg doc len {:.1}",
         index.num_docs(),
@@ -26,7 +40,7 @@ fn main() {
     );
 
     // 2. Run one query for real and show its hits.
-    let (hits, cost) = search(&index, &[15, 40, 200], 5);
+    let (hits, cost) = search(index, &[15, 40, 200], 5);
     println!(
         "sample query [15, 40, 200]: {} hits, {cost} postings scanned",
         hits.len()
@@ -35,16 +49,9 @@ fn main() {
         println!("  doc {} score {:.3}", h.doc, h.score);
     }
 
-    // 3. Measure the query trace, calibrated to the paper's mean.
-    let mut trace = QueryTrace::generate(
-        &index,
-        QueryWorkloadConfig {
-            num_queries: 10_000,
-            ..QueryWorkloadConfig::default()
-        },
-        100.0,
-    );
-    trace.calibrate_to_mean(39.73);
+    // 3. The measured trace, calibrated to the paper's mean.
+    wl.trace.calibrate_to_mean(39.73);
+    let trace = &wl.trace;
     println!(
         "trace: mean = {:.2} ms, std = {:.2} ms, {:.2}% of queries above 100 ms",
         trace.mean_ms(),

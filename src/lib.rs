@@ -25,7 +25,11 @@
 //!   `(d, q)` timer, races a reissue against it, cancels the loser
 //!   tied-request style on the wire (`CANCEL <seq>` retraction), and feeds
 //!   observed latencies into [`online::OnlineAdapter`] so the policy
-//!   re-optimizes *while serving traffic*.
+//!   re-optimizes *while serving traffic*,
+//! * plus the [`shard`] tail-at-scale layer: a hash-partitioned
+//!   keyspace, `N` shard groups × `R` replicas, and a scatter-gather
+//!   [`shard::FanoutClient`] that hedges per shard under one shared
+//!   cross-shard reissue budget (aggregate latency = max over legs).
 //!
 //! ## Quickstart
 //!
@@ -96,6 +100,7 @@ pub use hedge;
 pub use kvstore as kv;
 pub use rangequery;
 pub use searchengine as search;
+pub use shard;
 pub use simulator as sim;
 pub use workloads;
 

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures. See `reissue_bench` crate docs.
 //!
 //! ```text
-//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|all>...
+//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|throughput|all>...
 //! ```
 //!
 //! `tcp` regenerates the §6.2 figures through the real TCP serving
@@ -16,9 +16,46 @@
 //! so they are requested explicitly.
 
 use reissue_bench::{
-    figs_ext, figs_fanout, figs_sim, figs_sys, figs_tcp, out_dir, write_bench_json, Scale, Table,
+    figs_ext, figs_fanout, figs_sim, figs_sys, figs_tcp, figs_throughput, out_dir,
+    write_bench_json, Scale, Table,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::Ordering;
 use std::time::Instant;
+
+/// Counting global allocator for the allocations/request column of the
+/// `throughput` figure (`reissue_bench::alloc_count` holds the counter;
+/// the lib crate forbids `unsafe`, so the `GlobalAlloc` impl lives
+/// here). Pure pass-through to [`System`] plus one relaxed increment
+/// per allocation event — cheap enough to leave installed for every
+/// figure.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the only
+// addition is a relaxed atomic increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        reissue_bench::alloc_count::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        reissue_bench::alloc_count::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        reissue_bench::alloc_count::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +69,7 @@ fn main() {
         .collect();
     if figs.is_empty() {
         eprintln!(
-            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|all>..."
+            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|throughput|all>..."
         );
         std::process::exit(2);
     }
@@ -78,6 +115,7 @@ fn main() {
             "figtcp_scaleout" => figs_tcp::figtcp_scaleout(scale),
             "tcp" => figs_tcp::all(scale),
             "fanout" | "figtcp_fanout" => figs_fanout::figtcp_fanout(scale),
+            "throughput" => figs_throughput::figtcp_throughput(scale),
             other => {
                 eprintln!("unknown figure id: {other}");
                 std::process::exit(2);
@@ -89,10 +127,15 @@ fn main() {
         let json_name = match fig.as_str() {
             "figtcp_62" | "figtcp_scaleout" | "tcp" => Some("BENCH_tcp.json"),
             "fanout" | "figtcp_fanout" => Some("BENCH_fanout.json"),
+            "throughput" => Some("BENCH_throughput.json"),
             _ => None,
         };
         if let Some(name) = json_name {
-            let queries = figs_tcp::tcp_queries(scale);
+            let queries = if fig == "throughput" {
+                figs_throughput::throughput_queries(scale)
+            } else {
+                figs_tcp::tcp_queries(scale)
+            };
             match write_bench_json(std::path::Path::new(name), &fig, queries, &tables) {
                 Ok(()) => eprintln!("[{fig}: wrote {name}]"),
                 Err(e) => eprintln!("warning: failed to write {name}: {e}"),

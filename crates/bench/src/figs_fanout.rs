@@ -130,10 +130,32 @@ fn load_config(wl: &ShardedQueryWorkload, queries: usize, width: usize) -> Fanou
 /// estimate from a handful of samples.
 const WARMUP_QUERIES: usize = 60;
 
+/// Measured fan-outs per phase at a given width.
+///
+/// Narrow widths get proportionally more samples: a width-1 phase at
+/// the smoke count estimates its P99 from a handful of order
+/// statistics, which is exactly the warmup-scale noise that produced
+/// non-monotonic budget rows (a *larger* budget showing a *worse*
+/// static P99 at width 1). A width-1 arrival costs the client one leg
+/// dispatch where width-100 costs a hundred, so boosting the narrow
+/// widths is roughly total-work-neutral and leaves the expensive
+/// width-100 phases at the base count. Each table records its own
+/// `queries_per_phase` so the JSON says how many samples stand behind
+/// each width's rows.
+fn fanout_queries(scale: Scale, width: usize) -> usize {
+    let base = tcp_queries(scale);
+    match width {
+        0..=1 => base * 16,
+        2..=10 => base * 2,
+        _ => base,
+    }
+}
+
 /// The transient per-machine slowness that makes the tail-at-scale
-/// regime: one 4× slow window per replica, staggered across the middle
-/// half of the run so that at any instant `width / 10` replicas are
-/// degraded — a constant ~5% of a fan-out's legs land on a currently
+/// regime: 4× slow windows per replica (one at wide fan-outs, several
+/// shorter ones at narrow — see the episode split below), staggered
+/// across the middle half of the run so that at any instant
+/// `width / 10` replicas are degraded — a constant ~5% of a fan-out's legs land on a currently
 /// slow replica *regardless of width*, and the aggregate hit rate
 /// compounds as `1 − 0.95^width` ({5%, 40%, 99%} at widths
 /// {1, 10, 100}). This is the independent leg noise of "The Tail at
@@ -146,11 +168,23 @@ const WARMUP_QUERIES: usize = 60;
 /// unhedged baseline eats every window.
 fn sickness_script(width: usize, queries: usize) -> Vec<FanoutSickness> {
     let healthy = nanos_per_op(width);
-    let window = (queries / 20).max(4);
+    // Narrow fan-outs split their slow time into several shorter,
+    // staggered episodes. At width 1 a single contiguous window means
+    // every tail sample comes from one queue-buildup episode, so the
+    // P99 estimate carries episode-level variance that no per-phase
+    // sample count can average away (the other half of the
+    // non-monotonic-budget-rows bug fixed by [`fanout_queries`]). The
+    // split preserves both the total degraded time and the
+    // instantaneous degraded fraction; wide fan-outs already get many
+    // independent windows from the per-replica stagger.
+    let episodes = (8 / width).max(1);
+    let window = (queries / (20 * episodes)).max(4);
     let span = queries / 2;
-    (0..width)
-        .flat_map(|s| {
-            let start = queries / 4 + s * span / width;
+    let slots = width * episodes;
+    (0..slots)
+        .flat_map(|i| {
+            let s = i / episodes;
+            let start = queries / 4 + i * span / slots;
             let replica = s % REPLICAS_PER_SHARD;
             [
                 FanoutSickness {
@@ -217,23 +251,25 @@ fn median_adapted_policy(client: &FanoutClient) -> (f64, f64) {
 /// compounding (unhedged) and its recovery by per-shard hedging under
 /// one shared cross-shard budget.
 pub fn figtcp_fanout(scale: Scale) -> Vec<Table> {
-    let queries = tcp_queries(scale);
-    let mut t = Table::new(
-        "figtcp_fanout",
-        &[
-            "width",
-            "budget",
-            "unhedged_leg_p99",
-            "unhedged_agg_p99",
-            "online_agg_p99",
-            "online_rate",
-            "static_agg_p99",
-            "static_rate",
-            "drop_frac",
-        ],
-    );
+    let mut tables = Vec::new();
 
     for &width in &WIDTHS {
+        let queries = fanout_queries(scale, width);
+        let mut t = Table::new(
+            format!("figtcp_fanout_w{width}"),
+            &[
+                "width",
+                "budget",
+                "unhedged_leg_p99",
+                "unhedged_agg_p99",
+                "online_agg_p99",
+                "online_rate",
+                "static_agg_p99",
+                "static_rate",
+                "drop_frac",
+            ],
+        );
+        t.queries_per_phase = Some(queries);
         let wl = workload(scale, width);
         let cluster = ShardedCluster::spawn(wl.backends(), REPLICAS_PER_SHARD, nanos_per_op(width))
             .expect("bind shard groups");
@@ -303,6 +339,7 @@ pub fn figtcp_fanout(scale: Scale) -> Vec<Table> {
                 online.drop_rate(),
             ]);
         }
+        tables.push(t);
     }
-    vec![t]
+    tables
 }

@@ -21,6 +21,38 @@ pub mod figs_fanout;
 pub mod figs_sim;
 pub mod figs_sys;
 pub mod figs_tcp;
+pub mod figs_throughput;
+
+/// Process-wide heap-allocation counter fed by the counting global
+/// allocator the `figures` binary installs (the lib crate forbids
+/// `unsafe`, so the `GlobalAlloc` impl lives in the binary). In any
+/// other host — unit tests, downstream crates — the counter stays at
+/// zero and [`alloc_count::installed`] reports `false`.
+pub mod alloc_count {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Total allocation *events* (alloc + alloc_zeroed + realloc)
+    /// since process start. Incremented relaxed by the counting
+    /// allocator; byte sizes are deliberately not tracked — the
+    /// hot-path refactor targets allocation **count**, the per-event
+    /// allocator-lock/metadata cost.
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Current allocation-event count.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Whether a counting allocator is actually installed in this
+    /// process (probes by forcing a heap allocation and watching the
+    /// counter move).
+    pub fn installed() -> bool {
+        let before = allocations();
+        let probe: Vec<u8> = Vec::with_capacity(64);
+        std::hint::black_box(&probe);
+        allocations() > before
+    }
+}
 
 use reissue_core::adaptive::AdaptiveResult;
 use reissue_core::ReissuePolicy;
@@ -39,6 +71,12 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Data rows.
     pub rows: Vec<Vec<f64>>,
+    /// Measured queries per phase for *this* table, when it differs
+    /// from (or refines) the figure-level count — e.g. the fan-out
+    /// sweep boosts smoke counts at narrow widths, so a single global
+    /// number would misdescribe its rows. Serialized per table in the
+    /// BENCH JSON when set.
+    pub queries_per_phase: Option<usize>,
 }
 
 impl Table {
@@ -48,6 +86,7 @@ impl Table {
             name: name.into(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            queries_per_phase: None,
         }
     }
 
@@ -141,8 +180,12 @@ pub fn tables_to_json(figure: &str, queries_per_phase: usize, tables: &[Table]) 
             .iter()
             .map(|c| format!("\"{}\"", json_escape(c)))
             .collect();
+        let per_table_queries = t
+            .queries_per_phase
+            .map(|q| format!("\n      \"queries_per_phase\": {q},"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "\n    {{\n      \"name\": \"{}\",\n      \"columns\": [{}],\n      \"rows\": [",
+            "\n    {{\n      \"name\": \"{}\",{per_table_queries}\n      \"columns\": [{}],\n      \"rows\": [",
             json_escape(&t.name),
             cols.join(", ")
         ));

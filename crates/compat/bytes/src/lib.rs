@@ -1,21 +1,32 @@
 //! Vendored, `std`-only shim for the subset of the `bytes` 1.x API this
 //! workspace uses (see `crates/compat/README.md`).
 //!
-//! [`Bytes`] is a cheaply-clonable immutable byte buffer (an
-//! `Arc<[u8]>` under the hood — no sub-slicing views, which the
-//! workspace does not need). [`BytesMut`] is a growable buffer backed
-//! by `Vec<u8>` with the `split_to`/`advance` front-consumption calls
-//! the RESP codec relies on.
+//! [`Bytes`] is a cheaply-clonable immutable byte buffer: a refcounted
+//! `(Arc<Vec<u8>>, start, end)` **view**, so sub-slicing
+//! ([`Bytes::slice`]) and [`BytesMut::freeze`] are O(1) and share the
+//! underlying allocation — the property the zero-copy RESP codec is
+//! built on (command/reply payloads are views into the frozen
+//! connection read buffer; see `kvstore::resp`). Views pin their whole
+//! backing buffer; [`Bytes::detach`] makes a compact private copy at
+//! retention boundaries (e.g. a store inserting a key it will keep).
+//!
+//! [`BytesMut`] is a growable buffer with an O(1) front cursor:
+//! `advance`/`split_to` move a read offset instead of memmoving the
+//! tail, and `freeze` hands the backing `Vec` to an `Arc` without
+//! copying. Spent front capacity is reclaimed on `extend_from_slice`
+//! once it dominates the buffer.
 
 #![forbid(unsafe_code)]
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply clonable, immutable contiguous byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// A cheaply clonable, immutable view into a shared byte buffer.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -27,47 +38,131 @@ impl Bytes {
     /// Wraps a static byte slice (copies under this shim; the real
     /// crate aliases — semantics are identical for readers).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: bytes.into() }
+        Bytes::copy_from_slice(bytes)
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes::from(data.to_vec())
+    }
+
+    /// An O(1) sub-view sharing this buffer's allocation. The range is
+    /// relative to this view.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.end - self.start;
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice out of bounds: {begin}..{end} of {len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// A compact private copy when this view pins a larger shared
+    /// allocation (retention boundary — e.g. the store keeping a key
+    /// must not keep the whole network frame alive); a cheap refcount
+    /// clone when the view already spans its entire backing buffer.
+    pub fn detach(&self) -> Bytes {
+        if self.start == 0 && self.end == self.data.len() {
+            self.clone()
+        } else {
+            Bytes::copy_from_slice(self)
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        // All empty `Bytes` share one static backing allocation, so
+        // `Bytes::new()` is allocation-free on hot validation paths.
+        static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+        Bytes {
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new()))),
+            start: 0,
+            end: 0,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+// Equality/ordering/hashing are over the *visible* slice, never the
+// backing buffer or offsets — two views of different buffers with the
+// same contents are equal (and hash identically, as the
+// `Borrow<[u8]>` contract requires for map lookups by slice).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "b\"{}\"",
-            String::from_utf8_lossy(&self.data).escape_debug()
-        )
+        write!(f, "b\"{}\"", String::from_utf8_lossy(self).escape_debug())
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -91,13 +186,13 @@ impl From<&[u8]> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self[..] == *other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.data[..] == *other
+        self[..] == **other
     }
 }
 
@@ -110,10 +205,17 @@ pub trait Buf {
     fn remaining(&self) -> usize;
 }
 
-/// A growable byte buffer supporting front consumption.
-#[derive(Clone, Default, PartialEq, Eq)]
+/// Reclaim the spent front region once it exceeds this many bytes
+/// *and* the majority of the backing storage — keeps long-lived
+/// connection read buffers from growing without bound while never
+/// memmoving on the per-frame hot path.
+const COMPACT_THRESHOLD: usize = 4096;
+
+/// A growable byte buffer supporting O(1) front consumption.
+#[derive(Clone, Default)]
 pub struct BytesMut {
     data: Vec<u8>,
+    start: usize,
 }
 
 impl BytesMut {
@@ -126,92 +228,130 @@ impl BytesMut {
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
             data: Vec::with_capacity(cap),
+            start: 0,
         }
     }
 
-    /// Appends a slice.
+    /// Appends a slice. Fully-consumed or mostly-spent front capacity
+    /// is reclaimed here, off the per-frame path.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start > COMPACT_THRESHOLD && self.start > self.data.len() / 2 {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
         self.data.extend_from_slice(extend);
     }
 
-    /// Removes and returns the first `at` bytes as a new buffer.
+    /// Removes and returns the first `at` bytes as a new buffer
+    /// (copied out; the remainder is consumed in O(1)).
     ///
     /// # Panics
     /// Panics if `at > len`.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
-        assert!(at <= self.data.len(), "split_to out of bounds");
-        let rest = self.data.split_off(at);
-        BytesMut {
-            data: std::mem::replace(&mut self.data, rest),
-        }
+        assert!(at <= self.remaining(), "split_to out of bounds");
+        let head = BytesMut {
+            data: self.data[self.start..self.start + at].to_vec(),
+            start: 0,
+        };
+        self.start += at;
+        head
     }
 
     /// Clears the buffer.
     pub fn clear(&mut self) {
         self.data.clear();
+        self.start = 0;
     }
 
-    /// Freezes into an immutable [`Bytes`].
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Spare capacity past the current contents.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.start
+    }
+
+    /// Freezes into an immutable [`Bytes`] **without copying**: the
+    /// backing `Vec` moves into the shared allocation and any consumed
+    /// front region simply stays outside the view.
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+        let end = self.data.len();
+        Bytes {
+            start: self.start.min(end),
+            end,
+            data: Arc::new(self.data),
+        }
     }
 }
 
 impl Buf for BytesMut {
     fn advance(&mut self, cnt: usize) {
-        assert!(cnt <= self.data.len(), "advance out of bounds");
-        self.data.drain(..cnt);
+        assert!(cnt <= self.remaining(), "advance out of bounds");
+        self.start += cnt;
     }
 
     fn remaining(&self) -> usize {
-        self.data.len()
+        self.data.len() - self.start
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..]
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        let start = self.start;
+        &mut self.data[start..]
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
 impl std::fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "b\"{}\"",
-            String::from_utf8_lossy(&self.data).escape_debug()
-        )
+        write!(f, "b\"{}\"", String::from_utf8_lossy(self).escape_debug())
     }
 }
 
 impl From<&[u8]> for BytesMut {
     fn from(s: &[u8]) -> Self {
-        BytesMut { data: s.to_vec() }
+        BytesMut {
+            data: s.to_vec(),
+            start: 0,
+        }
     }
 }
 
 impl<const N: usize> From<&[u8; N]> for BytesMut {
     fn from(s: &[u8; N]) -> Self {
-        BytesMut { data: s.to_vec() }
+        BytesMut::from(&s[..])
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
     fn from(v: Vec<u8>) -> Self {
-        BytesMut { data: v }
+        BytesMut { data: v, start: 0 }
     }
 }
 
@@ -257,5 +397,69 @@ mod tests {
         let mut map: HashMap<Bytes, u32> = HashMap::new();
         map.insert(Bytes::from_static(b"k"), 1);
         assert_eq!(map.get(&Bytes::copy_from_slice(b"k")), Some(&1));
+    }
+
+    #[test]
+    fn slices_share_and_compare_by_contents() {
+        let whole = Bytes::from(b"prefix-payload-suffix".to_vec());
+        let payload = whole.slice(7..14);
+        assert_eq!(&payload[..], b"payload");
+        // Same contents from a different backing buffer: equal, same
+        // hash (HashMap lookup via a view must hit a copied key).
+        let copied = Bytes::copy_from_slice(b"payload");
+        assert_eq!(payload, copied);
+        use std::collections::HashMap;
+        let mut map = HashMap::new();
+        map.insert(copied, 7u32);
+        assert_eq!(map.get(&payload), Some(&7));
+        // Nested slicing is relative to the view.
+        let pay = payload.slice(..3);
+        assert_eq!(&pay[..], b"pay");
+        assert_eq!(payload.slice(7..7).len(), 0);
+    }
+
+    #[test]
+    fn detach_unpins_backing_buffer() {
+        let whole = Bytes::from(vec![7u8; 1024]);
+        let view = whole.slice(0..4);
+        let weak = Arc::downgrade(&view.data);
+        let detached = view.detach();
+        drop(whole);
+        drop(view);
+        assert_eq!(&detached[..], &[7, 7, 7, 7]);
+        assert!(
+            weak.upgrade().is_none(),
+            "detached copy must not pin the original allocation"
+        );
+        // A full-spanning view detaches by refcount, not copy.
+        let full = Bytes::from(b"abc".to_vec());
+        let det = full.detach();
+        assert!(Arc::ptr_eq(&full.data, &det.data));
+    }
+
+    #[test]
+    fn freeze_is_zero_copy_and_offset_aware() {
+        let mut m = BytesMut::from(&b"consumedrest"[..]);
+        m.advance(8);
+        let b = m.freeze();
+        assert_eq!(&b[..], b"rest");
+    }
+
+    #[test]
+    fn advance_is_cursor_based_and_extend_reclaims() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"abcd");
+        m.advance(4);
+        assert_eq!(m.remaining(), 0);
+        // Fully consumed: extend resets the cursor instead of growing.
+        m.extend_from_slice(b"efgh");
+        assert_eq!(&m[..], b"efgh");
+        assert_eq!(m.start, 0);
+        // A large mostly-spent buffer compacts on the next extend.
+        let mut big = BytesMut::from(vec![1u8; 2 * COMPACT_THRESHOLD]);
+        big.advance(2 * COMPACT_THRESHOLD - 8);
+        big.extend_from_slice(b"tail");
+        assert_eq!(big.start, 0);
+        assert_eq!(big.remaining(), 12);
     }
 }

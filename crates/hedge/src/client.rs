@@ -102,6 +102,19 @@ pub struct HedgeConfig {
     pub governor: Option<Arc<BudgetGovernor>>,
     /// TCP connections per replica.
     pub pool_per_replica: usize,
+    /// Requests each pooled connection keeps on the wire at once.
+    ///
+    /// `1` (the default) is strict request/reply: a connection writes
+    /// one frame and blocks for its reply, with per-attempt retries on
+    /// fresh sockets. Values above 1 pipeline: a connection batches up
+    /// to `pipeline` queued frames into single socket writes and
+    /// matches replies FIFO — amortizing syscalls and wakeups across
+    /// requests, which is where closed-loop throughput goes once the
+    /// per-request CPU cost is the bottleneck. Pipelined connections
+    /// trade away mid-stream retries (a dead socket fails everything
+    /// on the wire rather than replaying it), so hedged/tail-latency
+    /// serving should keep the default.
+    pub pipeline: usize,
     /// Executor worker threads.
     pub workers: usize,
     /// Seed for the reissue coin flips.
@@ -116,6 +129,7 @@ impl Default for HedgeConfig {
             budget_cap: None,
             governor: None,
             pool_per_replica: 4,
+            pipeline: 1,
             workers: 4,
             seed: 0x5EED,
         }
@@ -283,7 +297,7 @@ impl HedgedClient {
         addrs: &[SocketAddr],
         cfg: HedgeConfig,
     ) -> std::io::Result<HedgedClient> {
-        let replicas = ReplicaSet::connect(addrs, cfg.pool_per_replica)?;
+        let replicas = ReplicaSet::connect_pipelined(addrs, cfg.pool_per_replica, cfg.pipeline)?;
         let governor = cfg.governor.clone().or_else(|| {
             cfg.budget_cap
                 .or(cfg.online.map(|o| 1.25 * o.budget))

@@ -21,12 +21,12 @@
 //! the work. If the request already executed, the `CANCEL` is a no-op
 //! and the real reply stands.
 
-use kvstore::resp::{decode_command, encode_reply};
+use kvstore::resp::{encode_reply, peek_command, CommandFrame};
 use kvstore::server::{Connection, MiniServer, ServerStats};
+use kvstore::Reply;
 use kvstore::{Backend, KvStore};
-use kvstore::{Command, Reply};
 
-use bytes::BytesMut;
+use bytes::{Buf, BytesMut};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,6 +35,11 @@ use std::time::{Duration, Instant};
 
 /// Reply body sent for a retracted (tied-cancelled) request.
 pub const CANCELLED_MARKER: &str = "cancelled";
+
+/// The retraction reply, pre-encoded: exactly what
+/// `encode_reply(&Reply::Error(CANCELLED_MARKER.into()))` produces,
+/// kept as a static frame so the cancel fast path allocates nothing.
+const CANCELLED_FRAME: &[u8] = b"-ERR cancelled\r\n";
 
 /// Configuration for [`TcpServer`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -206,6 +211,8 @@ fn accept_loop<B: Backend>(listener: &TcpListener, shared: &Arc<Shared<B>>) {
 fn reader_loop<B: Backend>(mut stream: TcpStream, state: &Arc<ConnState>, shared: &Arc<Shared<B>>) {
     let mut buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
+    // Reused for error replies and cancel-confirmation flushes.
+    let mut scratch = BytesMut::new();
     while !shared.stop.load(Ordering::SeqCst) {
         match stream.read(&mut chunk) {
             Ok(0) => break, // peer closed
@@ -218,35 +225,52 @@ fn reader_loop<B: Backend>(mut stream: TcpStream, state: &Arc<ConnState>, shared
             }
             Err(_) => break,
         }
+        // One sweeper wakeup per socket read, not per frame: a
+        // pipelined client lands several frames per segment, and
+        // notifying for each would pay a futex wake apiece for work
+        // the sweeper drains in one cycle anyway.
+        let mut notify = false;
         loop {
-            match decode_command(&mut buf) {
-                Ok(Some(Command::Cancel(seq))) => handle_cancel(state, seq),
-                Ok(Some(cmd)) => {
+            // Validate-and-classify only: the raw frame bytes are
+            // forwarded into the pipe verbatim, so the sweeper's
+            // decode is the one materializing decode on the path
+            // (previously the frame was decoded here and re-encoded
+            // into the pipe — a full extra codec round per request).
+            match peek_command(&buf[..]) {
+                Ok(Some((CommandFrame::Cancel(seq), consumed))) => {
+                    buf.advance(consumed);
+                    handle_cancel(state, seq, &mut scratch);
+                }
+                Ok(Some((CommandFrame::Request, consumed))) => {
                     let mut pending = state.pending.lock().unwrap();
                     let seq = pending.next_seq;
                     pending.next_seq += 1;
-                    state.pipe.send(&cmd);
+                    state.pipe.send_bytes(&buf[..consumed]);
+                    buf.advance(consumed);
                     pending.injected = Some(seq);
                     drop(pending);
-                    shared.sweep_cv.notify_all();
+                    notify = true;
                 }
                 Ok(None) => break,
                 Err(err) => {
                     // Mirror MiniServer: error reply, drop the rest.
                     buf.clear();
-                    let mut out = BytesMut::new();
-                    encode_reply(&Reply::Error(err.to_string()), &mut out);
-                    state.pipe.push_outbound(&out);
-                    shared.sweep_cv.notify_all();
+                    scratch.clear();
+                    encode_reply(&Reply::Error(err.to_string()), &mut scratch);
+                    state.pipe.push_outbound(&scratch);
+                    notify = true;
                 }
             }
+        }
+        if notify {
+            shared.sweep_cv.notify_all();
         }
     }
     state.dead.store(true, Ordering::SeqCst);
 }
 
 /// Attempts to retract queued request `seq` (tied-request cancel).
-fn handle_cancel(state: &Arc<ConnState>, seq: u64) {
+fn handle_cancel(state: &Arc<ConnState>, seq: u64, scratch: &mut BytesMut) {
     let pending = state.pending.lock().unwrap();
     // Only the most recently injected request is retractable, and only
     // if its frame is still sitting in the pipe. `take_inbound` is
@@ -256,34 +280,61 @@ fn handle_cancel(state: &Arc<ConnState>, seq: u64) {
     if pending.injected == Some(seq) {
         let taken = state.pipe.take_inbound();
         if !taken.is_empty() {
-            let mut out = BytesMut::new();
-            encode_reply(&Reply::Error(CANCELLED_MARKER.into()), &mut out);
-            state.pipe.push_outbound(&out);
-            drop(pending);
-            // Deliver the confirmation now — the sweeper may be busy
-            // burning service time for another connection's query for
-            // a long while, and the whole point of cancelling is not
-            // to wait for that.
-            flush_conn(state);
+            // Retraction substitutes the cancelled marker for the
+            // frame's reply, so it is only order-safe when the target
+            // is the *only* frame in the pipe — a pipelined client may
+            // have earlier frames queued whose replies must precede
+            // the marker. If anything besides the single target frame
+            // came back, put it all back untouched and let the cancel
+            // miss (cancellation is best-effort by design). Only this
+            // reader thread appends inbound bytes, so the put-back
+            // cannot interleave with new frames.
+            let single_frame = matches!(
+                peek_command(&taken[..]),
+                Ok(Some((_, consumed))) if consumed == taken.len()
+            );
+            if single_frame {
+                state.pipe.push_outbound(CANCELLED_FRAME);
+                drop(pending);
+                // Deliver the confirmation now — the sweeper may be
+                // busy burning service time for another connection's
+                // query for a long while, and the whole point of
+                // cancelling is not to wait for that.
+                flush_conn(state, scratch);
+            } else {
+                state.pipe.send_bytes(&taken);
+            }
         }
     }
 }
 
-/// Atomically drains and writes one connection's outbound bytes. The
-/// writer lock is taken *before* draining so concurrent flushes (the
-/// sweeper's and a cancel confirmation) cannot reorder reply bytes.
-fn flush_conn(conn: &ConnState) {
+/// Atomically drains and writes one connection's outbound bytes
+/// through the caller's reusable `scratch` buffer (no allocation per
+/// flush). The writer lock is taken *before* draining so concurrent
+/// flushes (the sweeper's and a cancel confirmation) cannot reorder
+/// reply bytes.
+fn flush_conn(conn: &ConnState, scratch: &mut BytesMut) {
     if conn.dead.load(Ordering::SeqCst) {
         return;
     }
     let mut writer = conn.writer.lock().unwrap();
-    let bytes = conn.pipe.receive_bytes();
-    if !bytes.is_empty() && writer.write_all(&bytes).is_err() {
+    scratch.clear();
+    conn.pipe.drain_outbound_into(scratch);
+    if !scratch.is_empty() && writer.write_all(scratch).is_err() {
         conn.dead.store(true, Ordering::SeqCst);
     }
 }
 
+/// Commands executed per connection per sweep cycle before moving on
+/// — the round-robin fairness granularity for pipelined clients.
+const SWEEP_BATCH: usize = 32;
+
 fn sweep_loop<B: Backend>(shared: &Arc<Shared<B>>) {
+    // Both buffers persist across cycles: `cycle` keeps its capacity
+    // (refreshed with cheap Arc clones each pass instead of a fresh
+    // Vec allocation), `scratch` pools the flush path's staging bytes.
+    let mut cycle: Vec<Arc<ConnState>> = Vec::new();
+    let mut scratch = BytesMut::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -295,22 +346,37 @@ fn sweep_loop<B: Backend>(shared: &Arc<Shared<B>>) {
         // the cycle (real head-of-line blocking), but replies already
         // produced earlier in the cycle are released immediately
         // rather than being held behind the monster's burn.
-        let conns: Vec<Arc<ConnState>> = shared.conns.lock().unwrap().clone();
+        cycle.clear();
+        cycle.extend(shared.conns.lock().unwrap().iter().cloned());
         let mut executed = 0usize;
-        for (idx, conn) in conns.iter().enumerate() {
-            let cost = shared.server.lock().unwrap().sweep_conn(idx);
-            if let Some(cost) = cost {
-                executed += 1;
+        for (idx, conn) in cycle.iter().enumerate() {
+            // Drain the connection's complete frames (a pipelined
+            // client coalesces several per segment), burning each
+            // command's service time individually, then flush the
+            // whole batch of replies in one write. With one request
+            // per connection on the wire — every hedged/tail-latency
+            // path — this executes at most one command, exactly the
+            // old per-command behavior; the batch cap keeps one
+            // deep-queued connection from starving the rest of the
+            // cycle indefinitely.
+            let mut batched = 0usize;
+            while batched < SWEEP_BATCH {
+                let cost = shared.server.lock().unwrap().sweep_conn(idx);
+                let Some(cost) = cost else { break };
+                batched += 1;
                 let nanos_per_op = shared.nanos_per_op.load(Ordering::Relaxed);
                 if cost > 0 && nanos_per_op > 0 {
                     burn(Duration::from_nanos(cost * nanos_per_op));
                 }
-                flush_conn(conn);
+            }
+            if batched > 0 {
+                executed += batched;
+                flush_conn(conn, &mut scratch);
             }
         }
         // Catch stragglers (e.g. protocol-error replies written by the
         // readers) that the per-command flush above did not cover.
-        flush_replies(shared);
+        flush_replies(shared, &mut scratch);
         reap_dead(shared);
         if executed == 0 {
             let server = shared.server.lock().unwrap();
@@ -325,10 +391,10 @@ fn sweep_loop<B: Backend>(shared: &Arc<Shared<B>>) {
 }
 
 /// Forwards every connection's pending outbound bytes to its socket.
-fn flush_replies<B: Backend>(shared: &Arc<Shared<B>>) {
+fn flush_replies<B: Backend>(shared: &Arc<Shared<B>>, scratch: &mut BytesMut) {
     let conns = shared.conns.lock().unwrap();
     for conn in conns.iter() {
-        flush_conn(conn);
+        flush_conn(conn, scratch);
     }
 }
 

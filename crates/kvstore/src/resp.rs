@@ -1,13 +1,44 @@
-//! Minimal RESP2 (REdis Serialization Protocol) codec.
+//! Minimal RESP2 (REdis Serialization Protocol) codec, zero-copy.
 //!
 //! Enough of the wire protocol to run [`crate::KvStore`] as an actual
 //! network server: commands arrive as RESP arrays of bulk strings and
 //! replies are encoded as simple strings, errors, integers, bulk
 //! strings or arrays. Incremental parsing: [`decode_command`] returns
 //! `Ok(None)` until a full frame is buffered.
+//!
+//! ## Hot-path design
+//!
+//! Parsing works on **borrowed views**: a frame is first scanned in
+//! place over the connection read buffer, producing byte *ranges* for
+//! each argument (held in a per-thread scratch vector — no
+//! intermediate owned `Vec<u8>` per line or per argument). Owned bytes
+//! are materialized exactly once, at the typed boundary:
+//!
+//! * [`decode_command`] copies each argument into its [`Bytes`] slot
+//!   when the [`crate::store::Command`] is built (the store keeps
+//!   those, so they must own their storage);
+//! * [`decode_reply`] copies small bulk bodies but hands back **views**
+//!   into the frozen read buffer for large ones
+//!   ([`ZERO_COPY_STR_THRESHOLD`]) — an O(1) `freeze` + `slice` under
+//!   the `compat` bytes shim, so a big `GET` reply is never memcpy'd
+//!   on the client side;
+//! * [`peek_command`] validates a frame and classifies it (`CANCEL`
+//!   vs. anything else) **without materializing arguments at all**, so
+//!   a server front-end can forward the raw frame bytes downstream and
+//!   let the executing side do the single real decode.
+//!
+//! Encoding ([`encode_command`] / [`encode_reply`]) appends straight
+//! into the caller's (poolable) `BytesMut` with stack-buffer integer
+//! formatting — no `format!` temporaries on the wire path.
+//!
+//! The previous owned-`Vec` implementation is preserved verbatim in
+//! [`reference`] as a differential oracle: the equivalence suite in
+//! `tests/resp_equivalence.rs` drives both decoders over random frame
+//! sequences split at every byte boundary.
 
 use crate::store::{Command, Hit, Reply};
 use bytes::{Buf, Bytes, BytesMut};
+use std::cell::RefCell;
 
 /// Errors from protocol handling.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,31 +63,116 @@ impl std::fmt::Display for RespError {
 
 impl std::error::Error for RespError {}
 
+/// Upper bound on RESP array element counts.
+const MAX_ARRAY: usize = 1_000_000;
+/// Upper bound on a bulk string body.
+const MAX_BULK: usize = 64 * 1024 * 1024;
+
+/// Bulk reply bodies at or past this size decode as zero-copy views
+/// into the frozen read buffer; smaller ones are copied out so the
+/// read buffer keeps its capacity and isn't pinned by tiny values.
+pub const ZERO_COPY_STR_THRESHOLD: usize = 1024;
+
+thread_local! {
+    // Scratch for argument/element byte ranges during a parse: reused
+    // across frames so the steady-state decode performs no allocation
+    // for parsing itself. Never borrowed re-entrantly (the parser does
+    // not recurse into the public entry points).
+    static RANGE_SCRATCH: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+// ---------------------------------------------------------------------------
+// Integer and frame encoding helpers (no `format!` temporaries).
+// ---------------------------------------------------------------------------
+
+/// Decimal digits of `v` in the tail of a stack buffer; returns the
+/// buffer and the start index of the digits.
+#[inline]
+fn u64_digits(v: u64) -> ([u8; 20], usize) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    (tmp, i)
+}
+
+#[inline]
+fn put_uint(out: &mut BytesMut, v: u64) {
+    let (tmp, i) = u64_digits(v);
+    out.extend_from_slice(&tmp[i..]);
+}
+
+#[inline]
+fn put_int(out: &mut BytesMut, v: i64) {
+    if v < 0 {
+        out.extend_from_slice(b"-");
+    }
+    put_uint(out, v.unsigned_abs());
+}
+
+/// `$<len>\r\n<body>\r\n`
+#[inline]
+fn put_bulk(out: &mut BytesMut, body: &[u8]) {
+    out.extend_from_slice(b"$");
+    put_uint(out, body.len() as u64);
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// A bulk string whose body is the decimal rendering of `v`.
+#[inline]
+fn put_bulk_uint(out: &mut BytesMut, v: u64) {
+    let (tmp, i) = u64_digits(v);
+    put_bulk(out, &tmp[i..]);
+}
+
+/// `*<n>\r\n`
+#[inline]
+fn put_array_header(out: &mut BytesMut, n: usize) {
+    out.extend_from_slice(b"*");
+    put_uint(out, n as u64);
+    out.extend_from_slice(b"\r\n");
+}
+
 /// Encodes a reply into `out`.
 pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
     match reply {
         Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
         Reply::Pong => out.extend_from_slice(b"+PONG\r\n"),
-        Reply::Str(s) => {
-            out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
-            out.extend_from_slice(s);
+        Reply::Str(s) => put_bulk(out, s),
+        Reply::Int(i) => {
+            out.extend_from_slice(b":");
+            put_int(out, *i);
             out.extend_from_slice(b"\r\n");
         }
-        Reply::Int(i) => out.extend_from_slice(format!(":{i}\r\n").as_bytes()),
         Reply::Members(ms) => {
-            out.extend_from_slice(format!("*{}\r\n", ms.len()).as_bytes());
+            put_array_header(out, ms.len());
             for m in ms {
-                let s = m.to_string();
-                out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
+                put_bulk_uint(out, u64::from(*m));
             }
         }
         // Hits travel as `doc@score_bits` bulk strings; the `@` is what
         // lets the client-side decoder tell them from `Members`.
         Reply::Hits(hits) => {
-            out.extend_from_slice(format!("*{}\r\n", hits.len()).as_bytes());
+            put_array_header(out, hits.len());
             for h in hits {
-                let s = format!("{}@{}", h.doc, h.score_bits());
-                out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
+                let (doc, ds) = u64_digits(h.doc);
+                let (bits, bs) = u64_digits(h.score_bits());
+                let dl = doc.len() - ds;
+                let bl = bits.len() - bs;
+                let mut body = [0u8; 41]; // 20 digits + '@' + 20 digits
+                body[..dl].copy_from_slice(&doc[ds..]);
+                body[dl] = b'@';
+                body[dl + 1..dl + 1 + bl].copy_from_slice(&bits[bs..]);
+                put_bulk(out, &body[..dl + 1 + bl]);
             }
         }
         Reply::Nil => out.extend_from_slice(b"$-1\r\n"),
@@ -68,6 +184,248 @@ pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
     }
 }
 
+/// Encodes a command as a RESP array (client side).
+pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
+    match cmd {
+        Command::Ping => {
+            put_array_header(out, 1);
+            put_bulk(out, b"PING");
+        }
+        Command::Get(k) => {
+            put_array_header(out, 2);
+            put_bulk(out, b"GET");
+            put_bulk(out, k);
+        }
+        Command::Set(k, v) => {
+            put_array_header(out, 3);
+            put_bulk(out, b"SET");
+            put_bulk(out, k);
+            put_bulk(out, v);
+        }
+        Command::Del(k) => {
+            put_array_header(out, 2);
+            put_bulk(out, b"DEL");
+            put_bulk(out, k);
+        }
+        Command::SAdd(k, ms) => {
+            put_array_header(out, 2 + ms.len());
+            put_bulk(out, b"SADD");
+            put_bulk(out, k);
+            for m in ms {
+                put_bulk_uint(out, u64::from(*m));
+            }
+        }
+        Command::SCard(k) => {
+            put_array_header(out, 2);
+            put_bulk(out, b"SCARD");
+            put_bulk(out, k);
+        }
+        Command::Search { terms, k } => {
+            put_array_header(out, 2 + terms.len());
+            put_bulk(out, b"SEARCH");
+            put_bulk_uint(out, u64::from(*k));
+            for t in terms {
+                put_bulk_uint(out, u64::from(*t));
+            }
+        }
+        Command::SInter(a, b) => {
+            put_array_header(out, 3);
+            put_bulk(out, b"SINTER");
+            put_bulk(out, a);
+            put_bulk(out, b);
+        }
+        Command::SInterCard(a, b) => {
+            put_array_header(out, 3);
+            put_bulk(out, b"SINTERCARD");
+            put_bulk(out, a);
+            put_bulk(out, b);
+        }
+        Command::Cancel(seq) => {
+            put_array_header(out, 2);
+            put_bulk(out, b"CANCEL");
+            put_bulk_uint(out, *seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// View-based parsing core.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn parse_num<T: std::str::FromStr>(b: &[u8]) -> Option<T> {
+    std::str::from_utf8(b).ok().and_then(|s| s.parse().ok())
+}
+
+/// A non-consuming scan position over a borrowed input buffer. All
+/// productions return byte *ranges* into `buf`; nothing is copied.
+struct Slicer<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Slicer<'_> {
+    /// Range of the next CRLF-terminated line's content (CRLF excluded,
+    /// scan advanced past it), or `None` if no full line is buffered.
+    fn line(&mut self) -> Option<(usize, usize)> {
+        let rest = &self.buf[self.pos..];
+        let i = rest.windows(2).position(|w| w == b"\r\n")?;
+        let start = self.pos;
+        self.pos += i + 2;
+        Some((start, start + i))
+    }
+
+    /// Body range of one `$<len>\r\n<body>\r\n` bulk string.
+    fn bulk(&mut self) -> Result<Option<(usize, usize)>, RespError> {
+        let Some((hs, he)) = self.line() else {
+            return Ok(None);
+        };
+        let header = &self.buf[hs..he];
+        if header.first() != Some(&b'$') {
+            return Err(RespError::Protocol("expected bulk string".into()));
+        }
+        let len: usize =
+            parse_num(&header[1..]).ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
+        if len > MAX_BULK {
+            return Err(RespError::Protocol("bulk too large".into()));
+        }
+        if self.buf.len() < self.pos + len + 2 {
+            return Ok(None);
+        }
+        let body = (self.pos, self.pos + len);
+        if &self.buf[body.1..body.1 + 2] != b"\r\n" {
+            return Err(RespError::Protocol("missing bulk terminator".into()));
+        }
+        self.pos += len + 2;
+        Ok(Some(body))
+    }
+
+    /// One `*<n>\r\n` array of bulk strings; element body ranges are
+    /// pushed onto `out`. `Ok(Some(()))` only when the frame is
+    /// complete.
+    fn array(&mut self, out: &mut Vec<(usize, usize)>) -> Result<Option<()>, RespError> {
+        let Some((hs, he)) = self.line() else {
+            return Ok(None);
+        };
+        let header = &self.buf[hs..he];
+        if header.first() != Some(&b'*') {
+            return Err(RespError::Protocol("expected array".into()));
+        }
+        let n: usize = parse_num(&header[1..])
+            .ok_or_else(|| RespError::Protocol("bad array length".into()))?;
+        if n > MAX_ARRAY {
+            return Err(RespError::Protocol("array too large".into()));
+        }
+        for _ in 0..n {
+            match self.bulk()? {
+                Some(r) => out.push(r),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(()))
+    }
+}
+
+/// Builds the typed [`Command`] from argument ranges. With
+/// `materialize` false, byte arguments become empty placeholders —
+/// full validation (names, arities, integer arguments) still runs, so
+/// [`peek_command`] accepts exactly the frames [`decode_command`]
+/// accepts, without copying argument bodies.
+fn build_command(
+    buf: &[u8],
+    args: &[(usize, usize)],
+    materialize: bool,
+) -> Result<Command, RespError> {
+    let name = &buf[args[0].0..args[0].1];
+    let arity = args.len() - 1;
+    let field = |i: usize| -> Bytes {
+        if materialize {
+            Bytes::copy_from_slice(&buf[args[i].0..args[i].1])
+        } else {
+            Bytes::new()
+        }
+    };
+    let int_arg = |i: usize| -> Result<u32, RespError> {
+        parse_num(&buf[args[i].0..args[i].1])
+            .ok_or(RespError::BadArguments("integer member expected"))
+    };
+    let is = |upper: &[u8]| name.eq_ignore_ascii_case(upper);
+
+    if is(b"PING") {
+        Ok(Command::Ping)
+    } else if is(b"GET") {
+        if arity == 1 {
+            Ok(Command::Get(field(1)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"SET") {
+        if arity == 2 {
+            Ok(Command::Set(field(1), field(2)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"DEL") {
+        if arity == 1 {
+            Ok(Command::Del(field(1)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"SADD") {
+        if arity >= 2 {
+            let mut members = Vec::with_capacity(arity - 1);
+            for i in 2..args.len() {
+                members.push(int_arg(i)?);
+            }
+            Ok(Command::SAdd(field(1), members))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"SCARD") {
+        if arity == 1 {
+            Ok(Command::SCard(field(1)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"SEARCH") {
+        // SEARCH <k> <term>... — zero terms is a legal (empty) query.
+        if arity >= 1 {
+            let k = int_arg(1)?;
+            let mut terms = Vec::with_capacity(arity - 1);
+            for i in 2..args.len() {
+                terms.push(int_arg(i)?);
+            }
+            Ok(Command::Search { terms, k })
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"SINTER") {
+        if arity == 2 {
+            Ok(Command::SInter(field(1), field(2)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"SINTERCARD") {
+        if arity == 2 {
+            Ok(Command::SInterCard(field(1), field(2)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"CANCEL") {
+        if arity == 1 {
+            let seq = parse_num(&buf[args[1].0..args[1].1])
+                .ok_or(RespError::BadArguments("sequence number expected"))?;
+            Ok(Command::Cancel(seq))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else {
+        Err(RespError::UnknownCommand(
+            String::from_utf8_lossy(name).to_ascii_uppercase(),
+        ))
+    }
+}
+
 /// Attempts to decode one command frame from `buf`.
 ///
 /// Returns `Ok(Some(cmd))` and consumes the frame on success,
@@ -75,98 +433,181 @@ pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
 /// for malformed or unsupported input (buffer consumed through the
 /// frame when determinable).
 pub fn decode_command(buf: &mut BytesMut) -> Result<Option<Command>, RespError> {
-    let mut probe = Cursor { buf, pos: 0 };
-    let args = match probe.parse_array()? {
-        Some(a) => a,
-        None => return Ok(None),
+    let parsed = RANGE_SCRATCH.with(|scratch| {
+        let mut args = scratch.borrow_mut();
+        args.clear();
+        let data = &buf[..];
+        let mut sl = Slicer { buf: data, pos: 0 };
+        match sl.array(&mut args)? {
+            None => Ok(None),
+            Some(()) => {
+                let built = if args.is_empty() {
+                    Err(RespError::Protocol("empty command array".into()))
+                } else {
+                    build_command(data, &args, true)
+                };
+                Ok(Some((sl.pos, built)))
+            }
+        }
+    })?;
+    let Some((consumed, built)) = parsed else {
+        return Ok(None);
     };
-    let consumed = probe.pos;
     buf.advance(consumed);
-
-    if args.is_empty() {
-        return Err(RespError::Protocol("empty command array".into()));
-    }
-    let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
-    let arity = args.len() - 1;
-    let arg = |i: usize| Bytes::copy_from_slice(&args[i]);
-    let int_arg = |i: usize| -> Result<u32, RespError> {
-        std::str::from_utf8(&args[i])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or(RespError::BadArguments("integer member expected"))
-    };
-
-    match name.as_str() {
-        "PING" => Ok(Some(Command::Ping)),
-        "GET" if arity == 1 => Ok(Some(Command::Get(arg(1)))),
-        "SET" if arity == 2 => Ok(Some(Command::Set(arg(1), arg(2)))),
-        "DEL" if arity == 1 => Ok(Some(Command::Del(arg(1)))),
-        "SADD" if arity >= 2 => {
-            let mut members = Vec::with_capacity(arity - 1);
-            for i in 2..args.len() {
-                members.push(int_arg(i)?);
-            }
-            Ok(Some(Command::SAdd(arg(1), members)))
-        }
-        "SCARD" if arity == 1 => Ok(Some(Command::SCard(arg(1)))),
-        // SEARCH <k> <term>... — zero terms is a legal (empty) query.
-        "SEARCH" if arity >= 1 => {
-            let k = int_arg(1)?;
-            let mut terms = Vec::with_capacity(arity - 1);
-            for i in 2..args.len() {
-                terms.push(int_arg(i)?);
-            }
-            Ok(Some(Command::Search { terms, k }))
-        }
-        "SINTER" if arity == 2 => Ok(Some(Command::SInter(arg(1), arg(2)))),
-        "SINTERCARD" if arity == 2 => Ok(Some(Command::SInterCard(arg(1), arg(2)))),
-        "CANCEL" if arity == 1 => {
-            let seq = std::str::from_utf8(&args[1])
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .ok_or(RespError::BadArguments("sequence number expected"))?;
-            Ok(Some(Command::Cancel(seq)))
-        }
-        "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SEARCH" | "SINTER" | "SINTERCARD"
-        | "CANCEL" => Err(RespError::BadArguments("wrong arity")),
-        other => Err(RespError::UnknownCommand(other.to_string())),
-    }
+    built.map(Some)
 }
 
-/// Encodes a command as a RESP array (client side).
-pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
-    fn bulk(out: &mut BytesMut, s: &[u8]) {
-        out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
-        out.extend_from_slice(s);
-        out.extend_from_slice(b"\r\n");
-    }
-    let parts: Vec<Vec<u8>> = match cmd {
-        Command::Ping => vec![b"PING".to_vec()],
-        Command::Get(k) => vec![b"GET".to_vec(), k.to_vec()],
-        Command::Set(k, v) => vec![b"SET".to_vec(), k.to_vec(), v.to_vec()],
-        Command::Del(k) => vec![b"DEL".to_vec(), k.to_vec()],
-        Command::SAdd(k, ms) => {
-            let mut p = vec![b"SADD".to_vec(), k.to_vec()];
-            p.extend(ms.iter().map(|m| m.to_string().into_bytes()));
-            p
+/// Classification of a validated command frame, for front-ends that
+/// forward raw bytes instead of decoding twice (see [`peek_command`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommandFrame {
+    /// `CANCEL <seq>` — transport-level retraction, handled in-line by
+    /// the reader rather than forwarded.
+    Cancel(u64),
+    /// Any other valid command.
+    Request,
+}
+
+/// Validates (but does **not** consume or materialize) the next
+/// command frame in `buf`.
+///
+/// Accepts exactly the frames [`decode_command`] accepts — full
+/// syntax, command-name, arity, and integer-argument validation — but
+/// allocates nothing for argument bodies. On success returns the
+/// frame's classification plus its total encoded length, so a server
+/// front-end can forward `&buf[..len]` verbatim to the executing side
+/// (which then performs the single materializing decode) and advance
+/// the read buffer itself.
+pub fn peek_command(buf: &[u8]) -> Result<Option<(CommandFrame, usize)>, RespError> {
+    RANGE_SCRATCH.with(|scratch| {
+        let mut args = scratch.borrow_mut();
+        args.clear();
+        let mut sl = Slicer { buf, pos: 0 };
+        match sl.array(&mut args)? {
+            None => Ok(None),
+            Some(()) => {
+                if args.is_empty() {
+                    return Err(RespError::Protocol("empty command array".into()));
+                }
+                let frame = match build_command(buf, &args, false)? {
+                    Command::Cancel(seq) => CommandFrame::Cancel(seq),
+                    _ => CommandFrame::Request,
+                };
+                Ok(Some((frame, sl.pos)))
+            }
         }
-        Command::SCard(k) => vec![b"SCARD".to_vec(), k.to_vec()],
-        Command::Search { terms, k } => {
-            let mut p = vec![b"SEARCH".to_vec(), k.to_string().into_bytes()];
-            p.extend(terms.iter().map(|t| t.to_string().into_bytes()));
-            p
-        }
-        Command::SInter(a, b) => vec![b"SINTER".to_vec(), a.to_vec(), b.to_vec()],
-        Command::SInterCard(a, b) => {
-            vec![b"SINTERCARD".to_vec(), a.to_vec(), b.to_vec()]
-        }
-        Command::Cancel(seq) => {
-            vec![b"CANCEL".to_vec(), seq.to_string().into_bytes()]
-        }
+    })
+}
+
+/// Outcome of a reply-frame scan: everything but bulk bodies is built
+/// during the scan; bulk bodies stay as ranges so [`decode_reply`] can
+/// choose copy vs. zero-copy view.
+enum ParsedReply {
+    Ready(Reply),
+    StrBody(usize, usize),
+}
+
+/// Scans one reply frame at the start of `buf` without consuming.
+fn parse_reply_at(buf: &[u8]) -> Result<Option<(ParsedReply, usize)>, RespError> {
+    let Some(&head) = buf.first() else {
+        return Ok(None);
     };
-    out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
-    for p in parts {
-        bulk(out, &p);
+    let mut sl = Slicer { buf, pos: 0 };
+    match head {
+        b'+' => {
+            let Some((s, e)) = sl.line() else {
+                return Ok(None);
+            };
+            match &buf[s + 1..e] {
+                b"OK" => Ok(Some((ParsedReply::Ready(Reply::Ok), sl.pos))),
+                b"PONG" => Ok(Some((ParsedReply::Ready(Reply::Pong), sl.pos))),
+                other => Err(RespError::Protocol(format!(
+                    "unexpected simple string '{}'",
+                    String::from_utf8_lossy(other)
+                ))),
+            }
+        }
+        b'-' => {
+            let Some((s, e)) = sl.line() else {
+                return Ok(None);
+            };
+            let msg = String::from_utf8_lossy(&buf[s + 1..e]);
+            let msg = msg.strip_prefix("ERR ").unwrap_or(&msg);
+            Ok(Some((
+                ParsedReply::Ready(Reply::Error(msg.to_string())),
+                sl.pos,
+            )))
+        }
+        b':' => {
+            let Some((s, e)) = sl.line() else {
+                return Ok(None);
+            };
+            let i: i64 = parse_num(&buf[s + 1..e])
+                .ok_or_else(|| RespError::Protocol("bad integer".into()))?;
+            Ok(Some((ParsedReply::Ready(Reply::Int(i)), sl.pos)))
+        }
+        b'$' => {
+            let Some((hs, he)) = sl.line() else {
+                return Ok(None);
+            };
+            let len: i64 = parse_num(&buf[hs + 1..he])
+                .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
+            if len < 0 {
+                return Ok(Some((ParsedReply::Ready(Reply::Nil), sl.pos)));
+            }
+            let len = len as usize;
+            if len > MAX_BULK {
+                return Err(RespError::Protocol("bulk too large".into()));
+            }
+            if buf.len() < sl.pos + len + 2 {
+                return Ok(None);
+            }
+            let body = (sl.pos, sl.pos + len);
+            if &buf[body.1..body.1 + 2] != b"\r\n" {
+                return Err(RespError::Protocol("missing bulk terminator".into()));
+            }
+            Ok(Some((ParsedReply::StrBody(body.0, body.1), body.1 + 2)))
+        }
+        b'*' => RANGE_SCRATCH.with(|scratch| {
+            let mut items = scratch.borrow_mut();
+            items.clear();
+            match sl.array(&mut items)? {
+                None => Ok(None),
+                Some(()) => {
+                    // `doc@bits` elements are scored hits; plain
+                    // integers are set members. An empty array is
+                    // ambiguous and decodes as `Members(vec![])` —
+                    // callers expecting hits must treat that as zero
+                    // hits.
+                    if items.iter().any(|&(s, e)| buf[s..e].contains(&b'@')) {
+                        let mut hits = Vec::with_capacity(items.len());
+                        for &(s, e) in items.iter() {
+                            let item = std::str::from_utf8(&buf[s..e])
+                                .map_err(|_| RespError::Protocol("non-utf8 hit in array".into()))?;
+                            let (doc, bits) = item
+                                .split_once('@')
+                                .and_then(|(d, b)| Some((d.parse().ok()?, b.parse().ok()?)))
+                                .ok_or_else(|| {
+                                    RespError::Protocol("malformed hit in array".into())
+                                })?;
+                            hits.push(Hit::from_bits(doc, bits));
+                        }
+                        return Ok(Some((ParsedReply::Ready(Reply::Hits(hits)), sl.pos)));
+                    }
+                    let mut members = Vec::with_capacity(items.len());
+                    for &(s, e) in items.iter() {
+                        let m: u32 = parse_num(&buf[s..e]).ok_or_else(|| {
+                            RespError::Protocol("non-integer member in array".into())
+                        })?;
+                        members.push(m);
+                    }
+                    Ok(Some((ParsedReply::Ready(Reply::Members(members)), sl.pos)))
+                }
+            }
+        }),
+        other => Err(RespError::Protocol(format!(
+            "unknown reply type byte 0x{other:02x}"
+        ))),
     }
 }
 
@@ -176,183 +617,353 @@ pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
 ///
 /// Member arrays are decoded back into `Reply::Members` (each element
 /// must be an integer bulk string, which is all `encode_reply` emits);
-/// `-ERR msg` decodes to `Reply::Error(msg)`.
+/// `-ERR msg` decodes to `Reply::Error(msg)`. Bulk bodies of at least
+/// [`ZERO_COPY_STR_THRESHOLD`] bytes come back as zero-copy views into
+/// the (frozen) read buffer; any unconsumed pipelined tail is
+/// re-staged into `buf`.
 pub fn decode_reply(buf: &mut BytesMut) -> Result<Option<Reply>, RespError> {
-    let mut probe = Cursor { buf, pos: 0 };
-    let reply = match probe.parse_reply()? {
-        Some(r) => r,
-        None => return Ok(None),
-    };
-    let consumed = probe.pos;
-    buf.advance(consumed);
-    Ok(Some(reply))
-}
-
-/// A non-consuming parse cursor over the input buffer.
-struct Cursor<'a> {
-    buf: &'a BytesMut,
-    pos: usize,
-}
-
-impl Cursor<'_> {
-    fn line(&mut self) -> Result<Option<&[u8]>, RespError> {
-        let rest = &self.buf[self.pos..];
-        match rest.windows(2).position(|w| w == b"\r\n") {
-            Some(i) => {
-                let line = &rest[..i];
-                self.pos += i + 2;
-                Ok(Some(line))
+    match parse_reply_at(&buf[..])? {
+        None => Ok(None),
+        Some((ParsedReply::Ready(r), consumed)) => {
+            buf.advance(consumed);
+            Ok(Some(r))
+        }
+        Some((ParsedReply::StrBody(s, e), consumed)) => {
+            if e - s >= ZERO_COPY_STR_THRESHOLD {
+                // Freeze the whole read buffer (O(1): the Vec moves
+                // into the shared allocation) and return a view of the
+                // body. The tail — usually empty — is copied back so
+                // decoding can continue.
+                let full = std::mem::take(buf).freeze();
+                let body = full.slice(s..e);
+                if full.len() > consumed {
+                    buf.extend_from_slice(&full[consumed..]);
+                }
+                Ok(Some(Reply::Str(body)))
+            } else {
+                let body = Bytes::copy_from_slice(&buf[s..e]);
+                buf.advance(consumed);
+                Ok(Some(Reply::Str(body)))
             }
-            None => Ok(None),
+        }
+    }
+}
+
+/// The pre-refactor owned-`Vec` codec, preserved as the differential
+/// oracle for the zero-copy implementation above: identical public
+/// behavior (accepted frames, consumption semantics, error cases), so
+/// the equivalence property tests drive both over the same inputs.
+pub mod reference {
+    use super::RespError;
+    use crate::store::{Command, Hit, Reply};
+    use bytes::{Buf, Bytes, BytesMut};
+
+    /// Encodes a reply into `out` (old `format!`-based path).
+    pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
+        match reply {
+            Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
+            Reply::Pong => out.extend_from_slice(b"+PONG\r\n"),
+            Reply::Str(s) => {
+                out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
+                out.extend_from_slice(s);
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Int(i) => out.extend_from_slice(format!(":{i}\r\n").as_bytes()),
+            Reply::Members(ms) => {
+                out.extend_from_slice(format!("*{}\r\n", ms.len()).as_bytes());
+                for m in ms {
+                    let s = m.to_string();
+                    out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
+                }
+            }
+            Reply::Hits(hits) => {
+                out.extend_from_slice(format!("*{}\r\n", hits.len()).as_bytes());
+                for h in hits {
+                    let s = format!("{}@{}", h.doc, h.score_bits());
+                    out.extend_from_slice(format!("${}\r\n{s}\r\n", s.len()).as_bytes());
+                }
+            }
+            Reply::Nil => out.extend_from_slice(b"$-1\r\n"),
+            Reply::Error(e) => {
+                out.extend_from_slice(b"-ERR ");
+                out.extend_from_slice(e.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
         }
     }
 
-    fn parse_array(&mut self) -> Result<Option<Vec<Vec<u8>>>, RespError> {
-        let header = match self.line()? {
-            Some(l) => l.to_vec(),
+    /// Old owned-`Vec` command decoder.
+    pub fn decode_command(buf: &mut BytesMut) -> Result<Option<Command>, RespError> {
+        let mut probe = Cursor { buf, pos: 0 };
+        let args = match probe.parse_array()? {
+            Some(a) => a,
             None => return Ok(None),
         };
-        if header.first() != Some(&b'*') {
-            return Err(RespError::Protocol("expected array".into()));
+        let consumed = probe.pos;
+        buf.advance(consumed);
+
+        if args.is_empty() {
+            return Err(RespError::Protocol("empty command array".into()));
         }
-        let n: usize = std::str::from_utf8(&header[1..])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| RespError::Protocol("bad array length".into()))?;
-        if n > 1_000_000 {
-            return Err(RespError::Protocol("array too large".into()));
-        }
-        let mut items = Vec::with_capacity(n);
-        for _ in 0..n {
-            match self.parse_bulk()? {
-                Some(b) => items.push(b),
-                None => return Ok(None),
+        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+        let arity = args.len() - 1;
+        let arg = |i: usize| Bytes::copy_from_slice(&args[i]);
+        let int_arg = |i: usize| -> Result<u32, RespError> {
+            std::str::from_utf8(&args[i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or(RespError::BadArguments("integer member expected"))
+        };
+
+        match name.as_str() {
+            "PING" => Ok(Some(Command::Ping)),
+            "GET" if arity == 1 => Ok(Some(Command::Get(arg(1)))),
+            "SET" if arity == 2 => Ok(Some(Command::Set(arg(1), arg(2)))),
+            "DEL" if arity == 1 => Ok(Some(Command::Del(arg(1)))),
+            "SADD" if arity >= 2 => {
+                let mut members = Vec::with_capacity(arity - 1);
+                for i in 2..args.len() {
+                    members.push(int_arg(i)?);
+                }
+                Ok(Some(Command::SAdd(arg(1), members)))
             }
+            "SCARD" if arity == 1 => Ok(Some(Command::SCard(arg(1)))),
+            "SEARCH" if arity >= 1 => {
+                let k = int_arg(1)?;
+                let mut terms = Vec::with_capacity(arity - 1);
+                for i in 2..args.len() {
+                    terms.push(int_arg(i)?);
+                }
+                Ok(Some(Command::Search { terms, k }))
+            }
+            "SINTER" if arity == 2 => Ok(Some(Command::SInter(arg(1), arg(2)))),
+            "SINTERCARD" if arity == 2 => Ok(Some(Command::SInterCard(arg(1), arg(2)))),
+            "CANCEL" if arity == 1 => {
+                let seq = std::str::from_utf8(&args[1])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(RespError::BadArguments("sequence number expected"))?;
+                Ok(Some(Command::Cancel(seq)))
+            }
+            "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SEARCH" | "SINTER" | "SINTERCARD"
+            | "CANCEL" => Err(RespError::BadArguments("wrong arity")),
+            other => Err(RespError::UnknownCommand(other.to_string())),
         }
-        Ok(Some(items))
     }
 
-    fn parse_reply(&mut self) -> Result<Option<Reply>, RespError> {
-        let Some(&head) = self.buf.get(self.pos) else {
-            return Ok(None);
+    /// Old `format!`-based command encoder.
+    pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
+        fn bulk(out: &mut BytesMut, s: &[u8]) {
+            out.extend_from_slice(format!("${}\r\n", s.len()).as_bytes());
+            out.extend_from_slice(s);
+            out.extend_from_slice(b"\r\n");
+        }
+        let parts: Vec<Vec<u8>> = match cmd {
+            Command::Ping => vec![b"PING".to_vec()],
+            Command::Get(k) => vec![b"GET".to_vec(), k.to_vec()],
+            Command::Set(k, v) => vec![b"SET".to_vec(), k.to_vec(), v.to_vec()],
+            Command::Del(k) => vec![b"DEL".to_vec(), k.to_vec()],
+            Command::SAdd(k, ms) => {
+                let mut p = vec![b"SADD".to_vec(), k.to_vec()];
+                p.extend(ms.iter().map(|m| m.to_string().into_bytes()));
+                p
+            }
+            Command::SCard(k) => vec![b"SCARD".to_vec(), k.to_vec()],
+            Command::Search { terms, k } => {
+                let mut p = vec![b"SEARCH".to_vec(), k.to_string().into_bytes()];
+                p.extend(terms.iter().map(|t| t.to_string().into_bytes()));
+                p
+            }
+            Command::SInter(a, b) => vec![b"SINTER".to_vec(), a.to_vec(), b.to_vec()],
+            Command::SInterCard(a, b) => {
+                vec![b"SINTERCARD".to_vec(), a.to_vec(), b.to_vec()]
+            }
+            Command::Cancel(seq) => {
+                vec![b"CANCEL".to_vec(), seq.to_string().into_bytes()]
+            }
         };
-        match head {
-            b'+' => {
-                let line = match self.line()? {
-                    Some(l) => l.to_vec(),
-                    None => return Ok(None),
-                };
-                match &line[1..] {
-                    b"OK" => Ok(Some(Reply::Ok)),
-                    b"PONG" => Ok(Some(Reply::Pong)),
-                    other => Err(RespError::Protocol(format!(
-                        "unexpected simple string '{}'",
-                        String::from_utf8_lossy(other)
-                    ))),
+        out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
+        for p in parts {
+            bulk(out, &p);
+        }
+    }
+
+    /// Old owned-`Vec` reply decoder.
+    pub fn decode_reply(buf: &mut BytesMut) -> Result<Option<Reply>, RespError> {
+        let mut probe = Cursor { buf, pos: 0 };
+        let reply = match probe.parse_reply()? {
+            Some(r) => r,
+            None => return Ok(None),
+        };
+        let consumed = probe.pos;
+        buf.advance(consumed);
+        Ok(Some(reply))
+    }
+
+    struct Cursor<'a> {
+        buf: &'a BytesMut,
+        pos: usize,
+    }
+
+    impl Cursor<'_> {
+        fn line(&mut self) -> Result<Option<&[u8]>, RespError> {
+            let rest = &self.buf[self.pos..];
+            match rest.windows(2).position(|w| w == b"\r\n") {
+                Some(i) => {
+                    let line = &rest[..i];
+                    self.pos += i + 2;
+                    Ok(Some(line))
                 }
+                None => Ok(None),
             }
-            b'-' => {
-                let line = match self.line()? {
-                    Some(l) => l.to_vec(),
-                    None => return Ok(None),
-                };
-                let msg = String::from_utf8_lossy(&line[1..]);
-                let msg = msg.strip_prefix("ERR ").unwrap_or(&msg);
-                Ok(Some(Reply::Error(msg.to_string())))
+        }
+
+        fn parse_array(&mut self) -> Result<Option<Vec<Vec<u8>>>, RespError> {
+            let header = match self.line()? {
+                Some(l) => l.to_vec(),
+                None => return Ok(None),
+            };
+            if header.first() != Some(&b'*') {
+                return Err(RespError::Protocol("expected array".into()));
             }
-            b':' => {
-                let line = match self.line()? {
-                    Some(l) => l.to_vec(),
-                    None => return Ok(None),
-                };
-                let i: i64 = std::str::from_utf8(&line[1..])
-                    .ok()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RespError::Protocol("bad integer".into()))?;
-                Ok(Some(Reply::Int(i)))
+            let n: usize = std::str::from_utf8(&header[1..])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| RespError::Protocol("bad array length".into()))?;
+            if n > super::MAX_ARRAY {
+                return Err(RespError::Protocol("array too large".into()));
             }
-            b'$' => {
-                // Peek the header to distinguish nil from a bulk body.
-                let start = self.pos;
-                let header = match self.line()? {
-                    Some(l) => l.to_vec(),
-                    None => return Ok(None),
-                };
-                let len: i64 = std::str::from_utf8(&header[1..])
-                    .ok()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
-                if len < 0 {
-                    return Ok(Some(Reply::Nil));
-                }
-                self.pos = start;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
                 match self.parse_bulk()? {
-                    Some(data) => Ok(Some(Reply::Str(Bytes::from(data)))),
-                    None => Ok(None),
+                    Some(b) => items.push(b),
+                    None => return Ok(None),
                 }
             }
-            b'*' => {
-                let items = match self.parse_array()? {
-                    Some(items) => items,
-                    None => return Ok(None),
-                };
-                // `doc@bits` elements are scored hits; plain integers
-                // are set members. An empty array is ambiguous and
-                // decodes as `Members(vec![])` — callers expecting hits
-                // must treat that as zero hits.
-                if items.iter().any(|i| i.contains(&b'@')) {
-                    let mut hits = Vec::with_capacity(items.len());
-                    for item in items {
-                        let s = std::str::from_utf8(&item)
-                            .map_err(|_| RespError::Protocol("non-utf8 hit in array".into()))?;
-                        let (doc, bits) = s
-                            .split_once('@')
-                            .and_then(|(d, b)| Some((d.parse().ok()?, b.parse().ok()?)))
-                            .ok_or_else(|| RespError::Protocol("malformed hit in array".into()))?;
-                        hits.push(Hit::from_bits(doc, bits));
+            Ok(Some(items))
+        }
+
+        fn parse_reply(&mut self) -> Result<Option<Reply>, RespError> {
+            let Some(&head) = self.buf.get(self.pos) else {
+                return Ok(None);
+            };
+            match head {
+                b'+' => {
+                    let line = match self.line()? {
+                        Some(l) => l.to_vec(),
+                        None => return Ok(None),
+                    };
+                    match &line[1..] {
+                        b"OK" => Ok(Some(Reply::Ok)),
+                        b"PONG" => Ok(Some(Reply::Pong)),
+                        other => Err(RespError::Protocol(format!(
+                            "unexpected simple string '{}'",
+                            String::from_utf8_lossy(other)
+                        ))),
                     }
-                    return Ok(Some(Reply::Hits(hits)));
                 }
-                let mut members = Vec::with_capacity(items.len());
-                for item in items {
-                    let m: u32 = std::str::from_utf8(&item)
+                b'-' => {
+                    let line = match self.line()? {
+                        Some(l) => l.to_vec(),
+                        None => return Ok(None),
+                    };
+                    let msg = String::from_utf8_lossy(&line[1..]);
+                    let msg = msg.strip_prefix("ERR ").unwrap_or(&msg);
+                    Ok(Some(Reply::Error(msg.to_string())))
+                }
+                b':' => {
+                    let line = match self.line()? {
+                        Some(l) => l.to_vec(),
+                        None => return Ok(None),
+                    };
+                    let i: i64 = std::str::from_utf8(&line[1..])
                         .ok()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| RespError::Protocol("non-integer member in array".into()))?;
-                    members.push(m);
+                        .ok_or_else(|| RespError::Protocol("bad integer".into()))?;
+                    Ok(Some(Reply::Int(i)))
                 }
-                Ok(Some(Reply::Members(members)))
+                b'$' => {
+                    let start = self.pos;
+                    let header = match self.line()? {
+                        Some(l) => l.to_vec(),
+                        None => return Ok(None),
+                    };
+                    let len: i64 = std::str::from_utf8(&header[1..])
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
+                    if len < 0 {
+                        return Ok(Some(Reply::Nil));
+                    }
+                    self.pos = start;
+                    match self.parse_bulk()? {
+                        Some(data) => Ok(Some(Reply::Str(Bytes::from(data)))),
+                        None => Ok(None),
+                    }
+                }
+                b'*' => {
+                    let items = match self.parse_array()? {
+                        Some(items) => items,
+                        None => return Ok(None),
+                    };
+                    if items.iter().any(|i| i.contains(&b'@')) {
+                        let mut hits = Vec::with_capacity(items.len());
+                        for item in items {
+                            let s = std::str::from_utf8(&item)
+                                .map_err(|_| RespError::Protocol("non-utf8 hit in array".into()))?;
+                            let (doc, bits) = s
+                                .split_once('@')
+                                .and_then(|(d, b)| Some((d.parse().ok()?, b.parse().ok()?)))
+                                .ok_or_else(|| {
+                                    RespError::Protocol("malformed hit in array".into())
+                                })?;
+                            hits.push(Hit::from_bits(doc, bits));
+                        }
+                        return Ok(Some(Reply::Hits(hits)));
+                    }
+                    let mut members = Vec::with_capacity(items.len());
+                    for item in items {
+                        let m: u32 = std::str::from_utf8(&item)
+                            .ok()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| {
+                                RespError::Protocol("non-integer member in array".into())
+                            })?;
+                        members.push(m);
+                    }
+                    Ok(Some(Reply::Members(members)))
+                }
+                other => Err(RespError::Protocol(format!(
+                    "unknown reply type byte 0x{other:02x}"
+                ))),
             }
-            other => Err(RespError::Protocol(format!(
-                "unknown reply type byte 0x{other:02x}"
-            ))),
         }
-    }
 
-    fn parse_bulk(&mut self) -> Result<Option<Vec<u8>>, RespError> {
-        let header = match self.line()? {
-            Some(l) => l.to_vec(),
-            None => return Ok(None),
-        };
-        if header.first() != Some(&b'$') {
-            return Err(RespError::Protocol("expected bulk string".into()));
+        fn parse_bulk(&mut self) -> Result<Option<Vec<u8>>, RespError> {
+            let header = match self.line()? {
+                Some(l) => l.to_vec(),
+                None => return Ok(None),
+            };
+            if header.first() != Some(&b'$') {
+                return Err(RespError::Protocol("expected bulk string".into()));
+            }
+            let len: usize = std::str::from_utf8(&header[1..])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
+            if len > super::MAX_BULK {
+                return Err(RespError::Protocol("bulk too large".into()));
+            }
+            if self.buf.len() < self.pos + len + 2 {
+                return Ok(None);
+            }
+            let data = self.buf[self.pos..self.pos + len].to_vec();
+            if &self.buf[self.pos + len..self.pos + len + 2] != b"\r\n" {
+                return Err(RespError::Protocol("missing bulk terminator".into()));
+            }
+            self.pos += len + 2;
+            Ok(Some(data))
         }
-        let len: usize = std::str::from_utf8(&header[1..])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| RespError::Protocol("bad bulk length".into()))?;
-        if len > 64 * 1024 * 1024 {
-            return Err(RespError::Protocol("bulk too large".into()));
-        }
-        if self.buf.len() < self.pos + len + 2 {
-            return Ok(None);
-        }
-        let data = self.buf[self.pos..self.pos + len].to_vec();
-        if &self.buf[self.pos + len..self.pos + len + 2] != b"\r\n" {
-            return Err(RespError::Protocol("missing bulk terminator".into()));
-        }
-        self.pos += len + 2;
-        Ok(Some(data))
     }
 }
 
@@ -521,5 +1132,79 @@ mod tests {
             Some(Command::Get(Bytes::from_static(b"x")))
         );
         assert_eq!(decode_command(&mut b).unwrap(), None);
+    }
+
+    #[test]
+    fn peek_classifies_without_consuming() {
+        let mut wire = BytesMut::new();
+        encode_command(&Command::Get(Bytes::from_static(b"k")), &mut wire);
+        let get_len = wire.len();
+        encode_command(&Command::Cancel(77), &mut wire);
+        let (frame, len) = peek_command(&wire[..]).unwrap().unwrap();
+        assert_eq!(frame, CommandFrame::Request);
+        assert_eq!(len, get_len, "consumed length covers exactly one frame");
+        // Buffer untouched: the caller advances.
+        let (frame2, _) = peek_command(&wire[len..]).unwrap().unwrap();
+        assert_eq!(frame2, CommandFrame::Cancel(77));
+        // Partial frames report None at every prefix.
+        for cut in 1..get_len {
+            assert_eq!(peek_command(&wire[..cut]).unwrap(), None, "cut={cut}");
+        }
+        // Validation matches decode_command: bad args rejected.
+        let bad = b"*1\r\n$3\r\nGET\r\n";
+        assert!(matches!(
+            peek_command(&bad[..]),
+            Err(RespError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn large_str_reply_is_zero_copy_and_restages_tail() {
+        let body = vec![b'x'; ZERO_COPY_STR_THRESHOLD + 100];
+        let mut wire = BytesMut::new();
+        encode_reply(&Reply::Str(Bytes::from(body.clone())), &mut wire);
+        encode_reply(&Reply::Pong, &mut wire); // pipelined tail
+        let r1 = decode_reply(&mut wire).unwrap().unwrap();
+        assert_eq!(r1, Reply::Str(Bytes::from(body)));
+        let r2 = decode_reply(&mut wire).unwrap().unwrap();
+        assert_eq!(r2, Reply::Pong);
+        assert_eq!(decode_reply(&mut wire).unwrap(), None);
+    }
+
+    #[test]
+    fn new_and_reference_encoders_agree() {
+        let cmds = vec![
+            Command::Ping,
+            Command::Get(Bytes::from_static(b"key")),
+            Command::Set(Bytes::from_static(b"k"), Bytes::from_static(b"v")),
+            Command::SAdd(Bytes::from_static(b"s"), vec![0, 1, u32::MAX]),
+            Command::Search {
+                terms: vec![9, 8],
+                k: 5,
+            },
+            Command::Cancel(u64::MAX),
+        ];
+        for cmd in &cmds {
+            let (mut a, mut b) = (BytesMut::new(), BytesMut::new());
+            encode_command(cmd, &mut a);
+            reference::encode_command(cmd, &mut b);
+            assert_eq!(&a[..], &b[..], "command encoders diverge on {cmd:?}");
+        }
+        let replies = vec![
+            Reply::Ok,
+            Reply::Int(i64::MIN),
+            Reply::Int(i64::MAX),
+            Reply::Members(vec![3, 0, 7]),
+            Reply::Hits(vec![Hit::new(u64::MAX, -1.5)]),
+            Reply::Str(Bytes::from_static(b"payload")),
+            Reply::Nil,
+            Reply::Error("bad".into()),
+        ];
+        for reply in &replies {
+            let (mut a, mut b) = (BytesMut::new(), BytesMut::new());
+            encode_reply(reply, &mut a);
+            reference::encode_reply(reply, &mut b);
+            assert_eq!(&a[..], &b[..], "reply encoders diverge on {reply:?}");
+        }
     }
 }

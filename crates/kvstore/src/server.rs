@@ -56,6 +56,16 @@ impl Connection {
         std::mem::take(&mut *self.outbound.lock())
     }
 
+    /// Drains the outbound pipe by *appending* into `dst`, keeping the
+    /// pipe's allocation for the next replies — the pooled-buffer
+    /// alternative to [`receive_bytes`](Self::receive_bytes), whose
+    /// `take` forces the pipe to reallocate on every flush cycle.
+    pub fn drain_outbound_into(&self, dst: &mut BytesMut) {
+        let mut out = self.outbound.lock();
+        dst.extend_from_slice(&out);
+        out.clear();
+    }
+
     /// Bytes currently waiting in the inbound pipe (server-bound).
     pub fn pending_in(&self) -> usize {
         self.inbound.lock().len()

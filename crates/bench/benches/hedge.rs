@@ -93,6 +93,7 @@ fn bench_online_single_r(c: &mut Criterion) {
                 reoptimize_every: 128,
                 learning_rate: 0.5,
                 min_pairs: usize::MAX,
+                load: None,
             }),
             ..HedgeConfig::default()
         },
@@ -116,6 +117,7 @@ fn bench_online_single_r_correlated(c: &mut Criterion) {
                 reoptimize_every: 128,
                 learning_rate: 0.5,
                 min_pairs: 32,
+                load: None,
             }),
             ..HedgeConfig::default()
         },

@@ -1,13 +1,16 @@
 //! Regenerates the paper's figures. See `reissue_bench` crate docs.
 //!
 //! ```text
-//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|throughput|all>...
+//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|ramp|throughput|all>...
 //! ```
 //!
 //! `tcp` regenerates the §6.2 figures through the real TCP serving
 //! path (see `figs_tcp`); `figtcp_62` and `figtcp_scaleout` select
-//! one of the two TCP figures, and `fanout` runs the sharded
-//! scatter-gather width × budget sweep (see `figs_fanout`).
+//! one of the two TCP figures, `fanout` runs the sharded
+//! scatter-gather width × budget sweep (see `figs_fanout`), and
+//! `ramp` A/Bs utilization-aware hedging over a scripted 0.3 → 0.9
+//! load ramp (see `figs_ramp`; persists `BENCH_ramp.json`;
+//! `HEDGE_RAMP_ASSERT=1` adds the CI sanity assertion).
 //! `HEDGE_TCP_QUERIES=<n>` shrinks those runs for smoke testing.
 //! The TCP/fan-out figures additionally persist machine-readable
 //! results to `BENCH_tcp.json` / `BENCH_fanout.json` in the working
@@ -16,7 +19,7 @@
 //! so they are requested explicitly.
 
 use reissue_bench::{
-    figs_ext, figs_fanout, figs_sim, figs_sys, figs_tcp, figs_throughput, out_dir,
+    figs_ext, figs_fanout, figs_ramp, figs_sim, figs_sys, figs_tcp, figs_throughput, out_dir,
     write_bench_json, Scale, Table,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -69,7 +72,7 @@ fn main() {
         .collect();
     if figs.is_empty() {
         eprintln!(
-            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|throughput|all>..."
+            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|ramp|throughput|all>..."
         );
         std::process::exit(2);
     }
@@ -115,6 +118,7 @@ fn main() {
             "figtcp_scaleout" => figs_tcp::figtcp_scaleout(scale),
             "tcp" => figs_tcp::all(scale),
             "fanout" | "figtcp_fanout" => figs_fanout::figtcp_fanout(scale),
+            "ramp" | "figtcp_ramp" => figs_ramp::figtcp_ramp(scale),
             "throughput" => figs_throughput::figtcp_throughput(scale),
             other => {
                 eprintln!("unknown figure id: {other}");
@@ -127,6 +131,7 @@ fn main() {
         let json_name = match fig.as_str() {
             "figtcp_62" | "figtcp_scaleout" | "tcp" => Some("BENCH_tcp.json"),
             "fanout" | "figtcp_fanout" => Some("BENCH_fanout.json"),
+            "ramp" | "figtcp_ramp" => Some("BENCH_ramp.json"),
             "throughput" => Some("BENCH_throughput.json"),
             _ => None,
         };

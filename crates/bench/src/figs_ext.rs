@@ -222,6 +222,7 @@ pub fn ext4_online_correlated(scale: Scale) -> Vec<Table> {
             reoptimize_every: 2_000,
             learning_rate: 1.0,
             min_pairs: 200,
+            load: None,
         };
         let mut corr = OnlineAdapter::new(base);
         let mut ind = OnlineAdapter::new(OnlineConfig {

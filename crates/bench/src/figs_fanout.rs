@@ -301,6 +301,7 @@ pub fn figtcp_fanout(scale: Scale) -> Vec<Table> {
                         reoptimize_every: if width >= 100 { 250 } else { 100 },
                         learning_rate: 0.5,
                         min_pairs: 32,
+                        load: None,
                     }),
                     budget: Some(budget),
                     ..FanoutConfig::default()

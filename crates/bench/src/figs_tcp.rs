@@ -39,12 +39,12 @@ use reissue_core::policy::ReissuePolicy;
 /// The §6 experiments target P99.
 const K: f64 = 0.99;
 /// Wall-clock service burn per elementary store operation.
-const NANOS_PER_OP: u64 = 150;
+pub(crate) const NANOS_PER_OP: u64 = 150;
 /// One in this many queries is a "query of death" (§6.2): a monster
 /// intersection whose service time head-of-line-blocks its replica.
 const MONSTER_EVERY: usize = 500;
 /// Bounded admission for every run; drops are reported per point.
-const MAX_IN_FLIGHT: usize = 512;
+pub(crate) const MAX_IN_FLIGHT: usize = 512;
 
 /// Per-phase query count: `HEDGE_TCP_QUERIES` if set, otherwise
 /// scale-dependent (6 000 full / 1 500 fast).
@@ -62,16 +62,16 @@ pub fn tcp_queries(scale: Scale) -> usize {
 /// the set-intersection dataset plus two monster sets, the query
 /// trace, and the mean per-query service time (monsters included) the
 /// utilization targeting needs.
-struct TcpWorkload {
-    store: KvStore,
+pub(crate) struct TcpWorkload {
+    pub(crate) store: KvStore,
     trace: Trace,
     /// Mean service time per query in microseconds, monster mass
     /// included.
-    mean_service_us: f64,
+    pub(crate) mean_service_us: f64,
 }
 
 impl TcpWorkload {
-    fn generate(queries: usize) -> TcpWorkload {
+    pub(crate) fn generate(queries: usize) -> TcpWorkload {
         let dataset = Dataset::generate(DatasetConfig {
             num_sets: 300,
             universe: 100_000,
@@ -109,30 +109,31 @@ impl TcpWorkload {
 
     /// The command for arrival `i`: the traced intersection, with the
     /// scripted query of death every [`MONSTER_EVERY`] arrivals.
-    fn command_fn(&self) -> impl FnMut(usize) -> Command + Send + 'static {
+    pub(crate) fn command_fn(&self) -> impl FnMut(usize) -> Command + Send + 'static {
         self.trace.monster_command_fn(MONSTER_EVERY)
     }
 
     /// Poisson arrival process hitting `util` of an `n`-replica
     /// cluster's service capacity.
-    fn arrivals_for(&self, n: usize, util: f64) -> Arrivals {
+    pub(crate) fn arrivals_for(&self, n: usize, util: f64) -> Arrivals {
         Arrivals::Poisson {
             mean_us: (self.mean_service_us / (n as f64 * util)).max(1.0) as u64,
         }
     }
 
-    fn load_config(&self, queries: usize, n: usize, util: f64) -> LoadConfig {
+    pub(crate) fn load_config(&self, queries: usize, n: usize, util: f64) -> LoadConfig {
         LoadConfig {
             queries,
             arrivals: self.arrivals_for(n, util),
             max_in_flight: MAX_IN_FLIGHT,
             seed: 0x10AD ^ (n as u64) << 8 ^ (util * 100.0) as u64,
             script: Vec::new(),
+            rate_script: Vec::new(),
         }
     }
 }
 
-fn online_config(budget: f64) -> OnlineConfig {
+pub(crate) fn online_config(budget: f64) -> OnlineConfig {
     OnlineConfig {
         k: K,
         budget,
@@ -140,12 +141,13 @@ fn online_config(budget: f64) -> OnlineConfig {
         reoptimize_every: 250,
         learning_rate: 0.5,
         min_pairs: 48,
+        load: None,
     }
 }
 
 /// One phase: spin a fresh cluster, run the open-loop trace through a
 /// client with the given configuration, return the report and client.
-fn run_phase(
+pub(crate) fn run_phase(
     wl: &TcpWorkload,
     queries: usize,
     n: usize,
@@ -158,11 +160,11 @@ fn run_phase(
     (report, client)
 }
 
-fn p99(report: &LoadReport) -> f64 {
+pub(crate) fn p99(report: &LoadReport) -> f64 {
     report.quantile(K).unwrap_or(f64::NAN)
 }
 
-fn realized_rate(client: &HedgedClient) -> f64 {
+pub(crate) fn realized_rate(client: &HedgedClient) -> f64 {
     let stats = client.stats();
     stats.reissues as f64 / stats.queries.max(1) as f64
 }

@@ -18,6 +18,7 @@
 
 pub mod figs_ext;
 pub mod figs_fanout;
+pub mod figs_ramp;
 pub mod figs_sim;
 pub mod figs_sys;
 pub mod figs_tcp;

@@ -26,6 +26,12 @@
 //!   optimizer from serving systems that cancel tied requests.
 //! * [`budget`] — reissue-budget selection (§4.4): the expanding/halving
 //!   binary search and SLA-constrained budget minimization.
+//! * [`load`] — client-side load sensing for utilization-aware
+//!   hedging: an offered-rate / in-flight / service-time estimator
+//!   ([`load::LoadSignal`]) and the damping rule
+//!   ([`load::LoadShaper`]) that shrinks the effective reissue budget
+//!   as estimated utilization rises, so online adaptation survives
+//!   redundancy's load-dependent sign flip.
 //! * [`metrics`] — exact and streaming quantiles, latency-reduction
 //!   ratios, the paper's *remediation rate*, and service-time histograms.
 //!
@@ -40,6 +46,7 @@ pub mod adaptive;
 pub mod budget;
 pub mod censored;
 pub mod ecdf;
+pub mod load;
 pub mod metrics;
 pub mod model;
 pub mod online;

@@ -619,6 +619,7 @@ mod tests {
             reoptimize_every: 500,
             learning_rate: 0.5,
             min_pairs: usize::MAX,
+            load: None,
         };
         let mut exact = OnlineAdapter::new(cfg);
         let mut bucketed = OnlineAdapter::new(cfg);

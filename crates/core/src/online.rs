@@ -30,6 +30,42 @@
 //! [`compute_optimal_single_r_correlated`] — falling back to the
 //! independent path while the pair window is still thin.
 //!
+//! ## Utilization-aware damping
+//!
+//! Latency samples alone cannot tell a slow service from a saturated
+//! one, and hedging a saturated cluster *adds* load — redundancy's
+//! benefit flips sign with utilization. When [`OnlineConfig::load`] is
+//! set, the adapter accepts an external utilization estimate
+//! ([`OnlineAdapter::set_utilization`], typically fed from a
+//! [`crate::load::LoadSignal`]) and runs the optimizer at an
+//! *effective* budget `B · damping(ρ̂)` (see
+//! [`crate::load::LoadShaper`]): as ρ̂ rises the reissue probability
+//! shrinks and the optimal delay deepens, recovering unhedged behavior
+//! at saturation. The damping is applied **twice**: once to the spend
+//! target handed to the optimizer (which deepens the delay), and once
+//! multiplicatively to the live probability — budget damping alone
+//! cannot suppress deep-delay duplication, because past the bulk of
+//! the distribution `budget / outstanding` saturates at 1 however
+//! small the budget, and the rare-but-huge query a deep policy still
+//! duplicates is precisely the one whose *capacity* cost (unpriced by
+//! the count-based budget metric) tips a saturated cluster over.
+//! Between re-optimizations `set_utilization` rescales the live
+//! probability immediately, so the realized reissue rate tracks a
+//! ramp without waiting out `reoptimize_every`.
+//!
+//! ## Regime-shift window reset
+//!
+//! A fixed-size window lags a step change by up to a full window of
+//! mixed pre-/post-shift samples. Each re-optimization therefore runs
+//! a distribution-free shift detector: if at least half of the most
+//! recent 64 primary samples fall above the window's P75 (or below its
+//! P25 — under a stationary stream each tail event has probability
+//! 1/4, so ≥ 32 of 64 is a ≈`3e-5` false-positive), the pre-shift
+//! window is discarded, the optimizer runs on the retained recent
+//! samples, and the delay snaps to the recommendation (bypassing
+//! learning-rate damping) — re-convergence is bounded by a couple of
+//! re-optimization periods instead of a window length.
+//!
 //! ```
 //! use reissue_core::online::{OnlineAdapter, OnlineConfig, ReissueOutcome};
 //!
@@ -40,6 +76,7 @@
 //!     reoptimize_every: 500,
 //!     learning_rate: 0.5,
 //!     min_pairs: 64,
+//!     load: None,
 //! });
 //! // Feed observations as queries complete; consult the policy any time.
 //! for i in 0..2_000u32 {
@@ -54,11 +91,16 @@
 //! ```
 
 use crate::censored::{complete_pairs_with, KaplanMeier, Obs};
+use crate::load::LoadShaper;
 use crate::optimizer::{
     compute_optimal_single_r, compute_optimal_single_r_correlated, OptimalSingleR,
 };
 use rangequery::Treap;
 use std::collections::VecDeque;
+
+/// Recent-sample count the regime-shift detector inspects (and the
+/// number of samples each marginal window retains after a reset).
+const SHIFT_RECENT: usize = 64;
 
 /// Configuration for [`OnlineAdapter`].
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +123,12 @@ pub struct OnlineConfig {
     /// — conventionally `usize::MAX` — pins the adapter to the
     /// independence model permanently (e.g. for A/B runs).
     pub min_pairs: usize,
+    /// When set, the adapter damps its effective reissue budget by
+    /// [`LoadShaper::damping`] of the utilization fed through
+    /// [`OnlineAdapter::set_utilization`] — `None` (the default)
+    /// keeps the adapter load-blind and bit-for-bit compatible with
+    /// earlier behavior.
+    pub load: Option<LoadShaper>,
 }
 
 impl Default for OnlineConfig {
@@ -95,6 +143,7 @@ impl Default for OnlineConfig {
             reoptimize_every: 512,
             learning_rate: 0.5,
             min_pairs: 64,
+            load: None,
         }
     }
 }
@@ -139,6 +188,9 @@ pub struct OnlineAdapter {
     reoptimizations: u64,
     correlated_reoptimizations: u64,
     used_correlated: bool,
+    /// Externally supplied utilization estimate ρ̂ (0 until fed).
+    utilization: f64,
+    shift_resets: u64,
 }
 
 impl OnlineAdapter {
@@ -156,6 +208,11 @@ impl OnlineAdapter {
             cfg.learning_rate > 0.0 && cfg.learning_rate <= 1.0,
             "learning rate in (0,1]"
         );
+        if let Some(shaper) = cfg.load {
+            // Surface a misconfigured shaper at construction, not at
+            // the first re-optimization.
+            let _ = shaper.damping(0.0);
+        }
         OnlineAdapter {
             cfg,
             primary: Treap::new(0xA11CE),
@@ -171,6 +228,8 @@ impl OnlineAdapter {
             reoptimizations: 0,
             correlated_reoptimizations: 0,
             used_correlated: false,
+            utilization: 0.0,
+            shift_resets: 0,
         }
     }
 
@@ -298,7 +357,56 @@ impl OnlineAdapter {
         }
     }
 
+    /// Distribution-free regime-shift detector: trips when at least
+    /// [`SHIFT_RECENT`]`/2` of the most recent primary samples sit
+    /// above the whole window's P75 (upward shift) or below its P25
+    /// (downward). Under a stationary stream each tail event has
+    /// probability 1/4, so half of 64 is a ≈`3e-5` false positive per
+    /// check per side — robust even to strongly bimodal workloads,
+    /// where a location-based (median-ratio) detector false-trips.
+    fn detect_shift(&self) -> bool {
+        if self.primary_order.len() < 2 * SHIFT_RECENT {
+            return false;
+        }
+        let (Some(hi), Some(lo)) = (self.primary.quantile(0.75), self.primary.quantile(0.25))
+        else {
+            return false;
+        };
+        let mut above = 0usize;
+        let mut below = 0usize;
+        for &v in self.primary_order.iter().rev().take(SHIFT_RECENT) {
+            if v > hi {
+                above += 1;
+            } else if v < lo {
+                below += 1;
+            }
+        }
+        above >= SHIFT_RECENT / 2 || below >= SHIFT_RECENT / 2
+    }
+
+    /// Drops every pre-shift sample: both marginal windows keep only
+    /// their most recent [`SHIFT_RECENT`] observations, and the pair
+    /// window is cleared outright (Kaplan–Meier completion against
+    /// stale marginals would impute the old regime back in).
+    fn reset_window_to_recent(&mut self) {
+        while self.primary_order.len() > SHIFT_RECENT {
+            let old = self.primary_order.pop_front().unwrap();
+            self.primary.remove(old);
+        }
+        while self.reissue_order.len() > SHIFT_RECENT {
+            let old = self.reissue_order.pop_front().unwrap();
+            self.reissue.remove(old);
+        }
+        self.pairs.clear();
+        self.censored_in_window = 0;
+        self.shift_resets += 1;
+    }
+
     fn reoptimize(&mut self) {
+        let shifted = self.detect_shift();
+        if shifted {
+            self.reset_window_to_recent();
+        }
         let mut rx = self.primary.to_sorted_vec();
         let opt = if self.pairs.len() >= self.cfg.min_pairs.max(2) {
             // §4.2 path: complete the censored pairs Kaplan–Meier-style
@@ -332,7 +440,12 @@ impl OnlineAdapter {
             }
             self.used_correlated = true;
             self.correlated_reoptimizations += 1;
-            compute_optimal_single_r_correlated(&rx, &completed, self.cfg.k, self.cfg.budget)
+            compute_optimal_single_r_correlated(
+                &rx,
+                &completed,
+                self.cfg.k,
+                self.effective_budget(),
+            )
         } else {
             // §4.1 fallback: with no reissue observations yet, treat
             // reissues as exchangeable with primaries (the batch loop's
@@ -343,20 +456,90 @@ impl OnlineAdapter {
                 rx.clone()
             };
             self.used_correlated = false;
-            compute_optimal_single_r(&rx, &ry, self.cfg.k, self.cfg.budget)
+            compute_optimal_single_r(&rx, &ry, self.cfg.k, self.effective_budget())
         };
-        // Damped update, as in §4.3.
-        self.delay += self.cfg.learning_rate * (opt.delay - self.delay);
+        // Damped update, as in §4.3 — except after a shift reset,
+        // where damping toward the *old* regime's delay is exactly the
+        // staleness the reset removed: snap instead.
+        if shifted {
+            self.delay = opt.delay;
+        } else {
+            self.delay += self.cfg.learning_rate * (opt.delay - self.delay);
+        }
+        self.refresh_probability();
+        self.last_opt = Some(opt);
+        self.reoptimizations += 1;
+    }
+
+    /// Recomputes the live probability so the expected reissue rate
+    /// `q · Pr(X ≥ d)` equals the *effective* (damped) budget at the
+    /// current window and delay.
+    fn refresh_probability(&mut self) {
+        let budget = self.effective_budget();
         let outstanding = 1.0 - self.primary.cdf(self.delay);
-        self.probability = if self.cfg.budget <= 0.0 {
+        let q_budget = if budget <= 0.0 {
             0.0
         } else if outstanding > 0.0 {
-            (self.cfg.budget / outstanding).min(1.0)
+            (budget / outstanding).min(1.0)
         } else {
             1.0
         };
-        self.last_opt = Some(opt);
-        self.reoptimizations += 1;
+        // The damping multiplies the probability a second time (the
+        // budget above is already damped). Budget damping alone
+        // cannot suppress deep-delay reissues: at a delay past the
+        // bulk of the distribution `outstanding` is tiny and
+        // `budget / outstanding` saturates at 1 no matter how small
+        // the damped budget — so the policy would still duplicate
+        // every rare monster query. The budget metric prices a
+        // reissue by *count*; its capacity cost is the duplicated
+        // work, and at high ρ̂ the rare-but-huge duplicate is exactly
+        // the one that tips a saturated cluster over. Multiplying q
+        // by the damping bounds that directly.
+        self.probability = q_budget * self.damping();
+    }
+
+    /// The shaper's budget multiplier at the current utilization
+    /// estimate (1 when load awareness is off).
+    fn damping(&self) -> f64 {
+        match self.cfg.load {
+            Some(shaper) => shaper.damping(self.utilization),
+            None => 1.0,
+        }
+    }
+
+    /// The configured budget damped by the load shaper at the current
+    /// utilization estimate — equal to [`OnlineConfig::budget`] when
+    /// load awareness is off.
+    pub fn effective_budget(&self) -> f64 {
+        self.cfg.budget * self.damping()
+    }
+
+    /// Feeds an external utilization estimate ρ̂ (clamped to `[0, 1]`;
+    /// NaN reads as 0). With [`OnlineConfig::load`] set this rescales
+    /// the live reissue probability *immediately* — the delay moves
+    /// only at re-optimizations, but budget damping must track a load
+    /// ramp without waiting out `reoptimize_every`. A no-op signal
+    /// store when load awareness is off.
+    pub fn set_utilization(&mut self, rho: f64) {
+        self.utilization = if rho.is_nan() {
+            0.0
+        } else {
+            rho.clamp(0.0, 1.0)
+        };
+        if self.cfg.load.is_some() && self.reoptimizations > 0 {
+            self.refresh_probability();
+        }
+    }
+
+    /// The most recent utilization estimate fed via
+    /// [`set_utilization`](Self::set_utilization).
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Regime-shift window resets performed so far.
+    pub fn shift_resets(&self) -> u64 {
+        self.shift_resets
     }
 
     /// The current policy parameters as an [`OptimalSingleR`] record
@@ -432,6 +615,7 @@ mod tests {
             reoptimize_every: 500,
             learning_rate: 0.5,
             min_pairs: 64,
+            load: None,
         }
     }
 
@@ -675,6 +859,7 @@ mod tests {
             reoptimize_every: 2_000,
             learning_rate: 1.0,
             min_pairs: 200,
+            load: None,
         };
         let mut corr = OnlineAdapter::new(base);
         let mut ind = OnlineAdapter::new(OnlineConfig {
@@ -727,6 +912,7 @@ mod tests {
             reoptimize_every: 2_000,
             learning_rate: 1.0,
             min_pairs: 200,
+            load: None,
         });
         let mut rng = seeded(9);
         let d0 = 0.3;
@@ -759,5 +945,174 @@ mod tests {
             oracle.delay
         );
         assert!(a.policy().budget_used <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn utilization_damps_budget_and_deepens_delay() {
+        use crate::load::LoadShaper;
+        let shaper = LoadShaper::default();
+        let mut blind = OnlineAdapter::new(cfg());
+        let mut aware = OnlineAdapter::new(OnlineConfig {
+            load: Some(shaper),
+            ..cfg()
+        });
+        aware.set_utilization(0.85);
+        let mut rng = seeded(11);
+        let d = Exponential::new(1.0);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            blind.observe_primary(v);
+            aware.observe_primary(v);
+        }
+        let damp = shaper.damping(0.85);
+        assert!(damp < 0.1, "at ρ̂=0.85 the budget should be heavily cut");
+        assert!((aware.effective_budget() - 0.1 * damp).abs() < 1e-12);
+        assert_eq!(blind.effective_budget(), 0.1);
+        let (pb, pa) = (blind.policy(), aware.policy());
+        // Same samples, damped budget: spend at most the damped
+        // budget, and buy a deeper (never shallower) delay with it.
+        assert!(
+            pa.budget_used <= 0.1 * damp + 1e-9,
+            "used {}",
+            pa.budget_used
+        );
+        assert!(pa.probability < pb.probability);
+        assert!(
+            pa.delay >= pb.delay - 1e-9,
+            "damped budget must deepen the delay: blind {} aware {}",
+            pb.delay,
+            pa.delay
+        );
+        // At saturation the policy is fully off.
+        aware.set_utilization(1.0);
+        assert_eq!(aware.effective_budget(), 0.0);
+        assert_eq!(aware.policy().probability, 0.0);
+    }
+
+    #[test]
+    fn set_utilization_rescales_probability_between_reoptimizations() {
+        use crate::load::LoadShaper;
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            load: Some(LoadShaper::default()),
+            ..cfg()
+        });
+        let mut rng = seeded(12);
+        let d = Exponential::new(1.0);
+        for _ in 0..3_000 {
+            a.observe_primary(d.sample(&mut rng));
+        }
+        let q_unloaded = a.policy().probability;
+        assert!(q_unloaded > 0.0);
+        // No new observations — the rescale must not wait for a
+        // re-optimization.
+        let reopts = a.reoptimizations();
+        a.set_utilization(0.8);
+        assert_eq!(a.reoptimizations(), reopts);
+        let q_loaded = a.policy().probability;
+        assert!(
+            q_loaded < 0.5 * q_unloaded,
+            "q must fall immediately with ρ̂: {q_unloaded} -> {q_loaded}"
+        );
+        a.set_utilization(0.2);
+        let q_back = a.policy().probability;
+        assert!(
+            (q_back - q_unloaded).abs() < 1e-9,
+            "full budget must restore q: {q_unloaded} vs {q_back}"
+        );
+        // A load-blind adapter ignores the signal entirely.
+        let mut blind = OnlineAdapter::new(cfg());
+        let mut rng = seeded(12);
+        for _ in 0..3_000 {
+            blind.observe_primary(d.sample(&mut rng));
+        }
+        let q0 = blind.policy().probability;
+        blind.set_utilization(0.9);
+        assert_eq!(blind.policy().probability, q0);
+        assert_eq!(blind.effective_budget(), 0.1);
+    }
+
+    /// Satellite regression test: after a 10× step change in service
+    /// time the shift detector must discard the stale window and d*
+    /// must re-converge within a bounded number of re-optimizations —
+    /// not lag a full window of mixed samples.
+    #[test]
+    fn shift_reset_reconverges_within_bounded_reoptimizations() {
+        let shift_cfg = OnlineConfig {
+            window: 2_000,
+            reoptimize_every: 250,
+            ..cfg()
+        };
+        // Reference: the steady-state delay on the slow regime alone.
+        let mut reference = OnlineAdapter::new(shift_cfg);
+        let mut rng = seeded(13);
+        let slow = Exponential::new(0.1);
+        for _ in 0..8_000 {
+            reference.observe_primary(slow.sample(&mut rng));
+        }
+        let d_ref = reference.policy().delay;
+        assert!(d_ref > 0.0);
+
+        // Adapter under test: converge on the fast regime, then step.
+        let mut a = OnlineAdapter::new(shift_cfg);
+        let fast = Exponential::new(1.0);
+        for _ in 0..4_000 {
+            a.observe_primary(fast.sample(&mut rng));
+        }
+        assert_eq!(a.shift_resets(), 0, "stationary stream must not trip");
+        let d_fast = a.policy().delay;
+        assert!(d_fast < 0.5 * d_ref);
+        // Post-shift: within 3 re-optimization periods the delay must
+        // reach the slow regime's neighborhood. Without the reset the
+        // window is still ≥ 60% stale fast-regime samples at that
+        // point and the damped update has moved at most 7/8 of the way
+        // toward optima computed on the *mixture* — far short.
+        let bound = 3 * shift_cfg.reoptimize_every;
+        let mut seen = 0;
+        while seen < bound && a.policy().delay < 0.6 * d_ref {
+            a.observe_primary(slow.sample(&mut rng));
+            seen += 1;
+        }
+        assert!(
+            a.policy().delay >= 0.6 * d_ref,
+            "delay {} failed to reach 0.6×{d_ref} within {bound} post-shift samples",
+            a.policy().delay
+        );
+        assert!(a.shift_resets() >= 1, "the step change must trip a reset");
+        assert!(a.policy().budget_used <= 0.1 + 1e-9);
+
+        // Downward step re-converges too (the P25 side of the
+        // detector).
+        for _ in 0..4_000 {
+            a.observe_primary(slow.sample(&mut rng));
+        }
+        let resets_before = a.shift_resets();
+        let mut seen = 0;
+        while seen < bound && a.policy().delay > 2.0 * d_fast {
+            a.observe_primary(fast.sample(&mut rng));
+            seen += 1;
+        }
+        assert!(
+            a.policy().delay <= 2.0 * d_fast,
+            "downward shift: delay {} stuck above 2×{d_fast}",
+            a.policy().delay
+        );
+        assert!(a.shift_resets() > resets_before);
+    }
+
+    #[test]
+    fn stationary_streams_do_not_trip_shift_resets() {
+        // The bimodal band-stall workload is the adversarial case for
+        // location-based detectors; the quartile sign test must hold.
+        let mut a = OnlineAdapter::new(OnlineConfig {
+            window: 2_000,
+            reoptimize_every: 250,
+            ..cfg()
+        });
+        let mut rng = seeded(14);
+        for _ in 0..20_000 {
+            let (x, _) = band_stall_pair(&mut rng);
+            a.observe_primary(x);
+        }
+        assert_eq!(a.shift_resets(), 0, "stationary bimodal stream tripped");
     }
 }

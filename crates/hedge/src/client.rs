@@ -39,6 +39,7 @@ use kvstore::{Command, Reply};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use reissue_core::censored::Obs;
+use reissue_core::load::{LoadSignal, LoadSnapshot};
 use reissue_core::online::{OnlineAdapter, OnlineConfig, ReissueOutcome};
 use reissue_core::policy::ReissuePolicy;
 
@@ -272,6 +273,12 @@ struct HcInner {
     /// sorted-`Vec`-per-probe this client used to keep.
     latencies_ms: Mutex<reissue_core::metrics::LogHistogram>,
     governor: Option<Arc<BudgetGovernor>>,
+    /// Aggregate load estimator, present iff the online config opts
+    /// into utilization-aware damping ([`OnlineConfig::load`]). Fed on
+    /// every dispatch (primary and reissue) and every query
+    /// resolution; its estimate is pushed into the adapter at each
+    /// observation (see [`HcInner::observe`]).
+    load: Option<LoadSignal>,
 }
 
 /// A hedging client over a set of kvstore replicas. Cheap to clone
@@ -304,6 +311,9 @@ impl HedgedClient {
                 .map(|cap| Arc::new(BudgetGovernor::new(cap)))
         });
         let adapter = cfg.online.map(OnlineAdapter::new);
+        let load = cfg
+            .online
+            .and_then(|o| o.load.map(|_| LoadSignal::new(addrs.len().max(1))));
         Ok(HedgedClient {
             inner: Arc::new(HcInner {
                 rt,
@@ -326,6 +336,7 @@ impl HedgedClient {
                 },
                 latencies_ms: Mutex::new(reissue_core::metrics::LogHistogram::latency_ms()),
                 governor,
+                load,
             }),
         })
     }
@@ -395,6 +406,27 @@ impl HedgedClient {
         st.adapter.as_ref().map(|a| a.using_correlated())
     }
 
+    /// The client's current utilization estimate ρ̂ ∈ `[0, 1]`, when
+    /// utilization-aware hedging is on (`OnlineConfig::load`); `None`
+    /// otherwise. Zero until the load signal warms up.
+    pub fn utilization(&self) -> Option<f64> {
+        self.inner.load.as_ref().map(|l| l.utilization())
+    }
+
+    /// A snapshot of every load-signal estimator (offered rate,
+    /// in-flight, service estimate, ρ̂), when utilization-aware
+    /// hedging is on.
+    pub fn load_snapshot(&self) -> Option<LoadSnapshot> {
+        self.inner.load.as_ref().map(|l| l.snapshot())
+    }
+
+    /// The adapter's current *effective* (load-damped) reissue budget,
+    /// when online adaptation is on.
+    pub fn online_effective_budget(&self) -> Option<f64> {
+        let st = self.inner.state.lock().unwrap();
+        st.adapter.as_ref().map(|a| a.effective_budget())
+    }
+
     /// Number of completed queries slower than `threshold_ms`, at the
     /// latency histogram's bucket resolution.
     pub fn latencies_over(&self, threshold_ms: f64) -> usize {
@@ -443,6 +475,10 @@ impl HedgedClient {
             };
 
             let started = Instant::now();
+            if let Some(load) = &inner.load {
+                load.query_start();
+                load.note_dispatch();
+            }
             let primary_token = CancelToken::new();
             let primary = inner
                 .replicas
@@ -474,6 +510,9 @@ impl HedgedClient {
             inner.counters.queries.fetch_add(1, Ordering::Relaxed);
             if let Some(g) = &inner.governor {
                 g.note_query();
+            }
+            if let Some(load) = &inner.load {
+                load.query_end(outcome.is_ok().then_some(elapsed_ms));
             }
             match outcome {
                 Ok((reply, raced)) => {
@@ -570,6 +609,13 @@ impl HcInner {
         let Some(adapter) = st.adapter.as_mut() else {
             return;
         };
+        // Push the freshest load estimate first: with
+        // `OnlineConfig::load` set this rescales the live reissue
+        // probability immediately, so the policy tracks a load ramp
+        // between re-optimizations.
+        if let Some(load) = &self.load {
+            adapter.set_utilization(load.utilization());
+        }
         match obs {
             Observation::Primary(ms) => adapter.observe_primary(ms),
             Observation::Reissue(ms) => adapter.observe_reissue(ms),
@@ -794,6 +840,12 @@ impl HcInner {
         self.counters.reissues.fetch_add(1, Ordering::Relaxed);
         if let Some(g) = &self.governor {
             g.note_reissue();
+        }
+        // Every attempt put on the wire feeds the offered-rate
+        // estimate — hedging's own load contribution is part of the
+        // utilization it must react to.
+        if let Some(load) = &self.load {
+            load.note_dispatch();
         }
         self.counters.reissues_by_stage[stage.min(MAX_STAGES - 1)].fetch_add(1, Ordering::Relaxed);
         let idx = self.replicas.pick_reissue_excluding(targets);

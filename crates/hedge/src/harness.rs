@@ -135,6 +135,24 @@ pub struct SicknessEvent {
     pub nanos_per_op: u64,
 }
 
+/// One scripted mid-run change to the *arrival process*: from arrival
+/// `at_query` onward the generator paces with `arrivals`. The
+/// load-ramp analogue of [`SicknessEvent`] — sweeping utilization
+/// mid-run (e.g. 0.3 → 0.9) is a sequence of `RateEvent`s raising the
+/// offered rate while the same client keeps serving.
+///
+/// Every `RateEvent` also marks a **segment boundary**: the run's
+/// [`LoadReport::segments`] carry per-phase latency histograms, drop
+/// counts and client reissue-rate deltas, so a ramp run reports each
+/// utilization plateau separately instead of one blended histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct RateEvent {
+    /// Arrival index from which the new process paces the generator.
+    pub at_query: usize,
+    /// The arrival process in force from that point on.
+    pub arrivals: Arrivals,
+}
+
 /// Configuration for one open-loop load run.
 #[derive(Clone, Debug)]
 pub struct LoadConfig {
@@ -151,6 +169,11 @@ pub struct LoadConfig {
     /// Scripted per-replica sickness/heal events, applied by arrival
     /// index. Need not be sorted.
     pub script: Vec<SicknessEvent>,
+    /// Scripted arrival-process changes, applied by arrival index
+    /// (need not be sorted). Each event both switches the pacer's
+    /// process and opens a new reporting segment (see
+    /// [`LoadReport::segments`]). Empty = one process, one segment.
+    pub rate_script: Vec<RateEvent>,
 }
 
 impl Default for LoadConfig {
@@ -162,6 +185,7 @@ impl Default for LoadConfig {
             max_in_flight: 1_024,
             seed: 0x10AD,
             script: Vec::new(),
+            rate_script: Vec::new(),
         }
     }
 }
@@ -187,6 +211,12 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// End-to-end latency of every completed query, ms.
     pub latency_ms: LogHistogram,
+    /// Per-segment accounting: one segment per stretch between
+    /// [`RateEvent`] boundaries (a single segment covering the whole
+    /// run when `rate_script` is empty). Latencies are binned by
+    /// *arrival index*, so a query dispatched in segment `k` lands in
+    /// segment `k` even if it completes after the boundary.
+    pub segments: Vec<SegmentReport>,
 }
 
 impl LoadReport {
@@ -204,6 +234,70 @@ impl LoadReport {
     /// Fraction of arrivals dropped by admission control.
     pub fn drop_rate(&self) -> f64 {
         self.dropped as f64 / (self.dispatched + self.dropped).max(1) as f64
+    }
+}
+
+/// One [`RateEvent`]-delimited stretch of a load run (see
+/// [`LoadReport::segments`]). Latency and admission counters are
+/// attributed by arrival index; the client-counter deltas
+/// (`queries_delta` / `reissues_delta`) are wall-clock snapshots taken
+/// as the generator crossed the segment's boundaries, so a straggler
+/// completing after the boundary is counted in the next segment's
+/// delta — a bounded, documented skew of at most the in-flight window.
+#[derive(Clone, Debug)]
+pub struct SegmentReport {
+    /// First arrival index of the segment (inclusive).
+    pub start: usize,
+    /// One past the last arrival index of the segment.
+    pub end: usize,
+    /// The arrival process in force during the segment.
+    pub arrivals: Arrivals,
+    /// Arrivals of this segment admitted and dispatched.
+    pub dispatched: u64,
+    /// Arrivals of this segment dropped by admission control.
+    pub dropped: u64,
+    /// Dispatched queries of this segment that completed.
+    pub completed: u64,
+    /// Dispatched queries of this segment that failed.
+    pub failed: u64,
+    /// End-to-end latency of the segment's completed queries, ms.
+    pub latency_ms: LogHistogram,
+    /// Client-completed queries while the segment's arrivals were
+    /// being offered (boundary-snapshot delta).
+    pub queries_delta: u64,
+    /// Client-dispatched reissues while the segment's arrivals were
+    /// being offered (boundary-snapshot delta).
+    pub reissues_delta: u64,
+    /// The client's utilization estimate ρ̂ as the segment's last
+    /// arrival was offered (`NaN` when the client is not
+    /// utilization-aware). A point sample: under heavy-tailed service
+    /// the estimate sawtooths around each slow-query episode, so
+    /// prefer [`utilization_mean`](Self::utilization_mean) for
+    /// per-phase comparisons.
+    pub utilization_end: f64,
+    /// Mean of the client's ρ̂ over the watcher's ~200 µs polls while
+    /// the segment's arrivals were being offered (`NaN` when the
+    /// client is not utilization-aware) — the segment's time-averaged
+    /// load estimate, robust to the end-point sawtooth.
+    pub utilization_mean: f64,
+}
+
+impl SegmentReport {
+    /// Latency quantile (ms) over the segment's completed queries.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.latency_ms.quantile(p)
+    }
+
+    /// Fraction of the segment's arrivals dropped by admission
+    /// control.
+    pub fn drop_rate(&self) -> f64 {
+        self.dropped as f64 / (self.dispatched + self.dropped).max(1) as f64
+    }
+
+    /// Realized reissue rate over the segment (reissues per completed
+    /// query, from the client-counter deltas).
+    pub fn reissue_rate(&self) -> f64 {
+        self.reissues_delta as f64 / self.queries_delta.max(1) as f64
     }
 }
 
@@ -301,10 +395,29 @@ impl<B: Backend> Cluster<B> {
             failed: AtomicU64::new(0),
             latency_ms: Mutex::new(LogHistogram::latency_ms()),
         });
+        // Segment boundaries: every rate-script index strictly inside
+        // the run opens a new segment (one segment when the script is
+        // empty).
+        let mut rate_script: Vec<RateEvent> = cfg.rate_script.clone();
+        rate_script.sort_by_key(|e| e.at_query);
+        let mut bounds: Vec<usize> = vec![0];
+        bounds.extend(
+            rate_script
+                .iter()
+                .map(|e| e.at_query)
+                .filter(|&a| a > 0 && a < cfg.queries),
+        );
+        bounds.dedup();
+        bounds.push(cfg.queries);
+        let nseg = bounds.len() - 1;
+        let segs: Arc<Vec<SegShared>> = Arc::new((0..nseg).map(|_| SegShared::new()).collect());
         let started = Instant::now();
         let pacer = {
             let client = client.clone();
             let shared = shared.clone();
+            let segs = segs.clone();
+            let seg_bounds = bounds.clone();
+            let rate_script = rate_script.clone();
             let cfg_arrivals = cfg.arrivals;
             let queries = cfg.queries;
             let max_in_flight = cfg.max_in_flight.max(1);
@@ -313,6 +426,9 @@ impl<B: Backend> Cluster<B> {
             let rt = client.runtime().clone();
             rt.clone().spawn(async move {
                 let mut rng = SmallRng::seed_from_u64(seed);
+                let mut arrivals = cfg_arrivals;
+                let mut next_rate = 0usize;
+                let mut cur_seg = 0usize;
                 // Absolute arrival schedule: each deadline advances by
                 // the sampled gap from the *previous deadline*, never
                 // from "now" — relative sleeps would add the pacer's
@@ -324,16 +440,29 @@ impl<B: Backend> Cluster<B> {
                 // and it catches up.
                 let mut next_arrival = Instant::now();
                 for i in 0..queries {
+                    // Rate script: switch the arrival process the
+                    // moment the offered count crosses an event, and
+                    // advance the attribution segment in lockstep
+                    // (every in-range event is a segment boundary).
+                    while next_rate < rate_script.len() && rate_script[next_rate].at_query <= i {
+                        arrivals = rate_script[next_rate].arrivals;
+                        next_rate += 1;
+                    }
+                    while cur_seg + 1 < seg_bounds.len() - 1 && i >= seg_bounds[cur_seg + 1] {
+                        cur_seg += 1;
+                    }
                     // Admission: the arrival happens on the clock
                     // either way; only the dispatch is conditional.
                     let outstanding = shared.in_flight.load(Ordering::Relaxed);
                     if outstanding >= max_in_flight {
                         shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        segs[cur_seg].dropped.fetch_add(1, Ordering::Relaxed);
                     } else {
                         let now = outstanding + 1;
                         shared.in_flight.fetch_add(1, Ordering::Relaxed);
                         shared.peak_in_flight.fetch_max(now, Ordering::Relaxed);
                         shared.dispatched.fetch_add(1, Ordering::Relaxed);
+                        segs[cur_seg].dispatched.fetch_add(1, Ordering::Relaxed);
                         // Latency clock starts at admission, not at the
                         // completion task's first poll: the time a
                         // dispatched query spends waiting for the
@@ -344,22 +473,27 @@ impl<B: Backend> Cluster<B> {
                         let t0 = Instant::now();
                         let fut = client.execute(make_cmd(i));
                         let shared = shared.clone();
+                        let segs = segs.clone();
+                        let seg = cur_seg;
                         rt.spawn(async move {
                             match fut.await {
                                 Ok(_) => {
                                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                                     shared.latency_ms.lock().unwrap().record(ms);
                                     shared.completed.fetch_add(1, Ordering::Relaxed);
+                                    segs[seg].latency_ms.lock().unwrap().record(ms);
+                                    segs[seg].completed.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Err(_) => {
                                     shared.failed.fetch_add(1, Ordering::Relaxed);
+                                    segs[seg].failed.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                             shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                         });
                     }
                     shared.offered.fetch_add(1, Ordering::Relaxed);
-                    let gap = cfg_arrivals.gap_after_us(i, &mut rng);
+                    let gap = arrivals.gap_after_us(i, &mut rng);
                     if gap > 0 {
                         next_arrival += Duration::from_micros(gap);
                         rt.sleep_until(next_arrival).await;
@@ -374,6 +508,22 @@ impl<B: Backend> Cluster<B> {
         let mut script: Vec<SicknessEvent> = cfg.script.clone();
         script.sort_by_key(|e| e.at_query);
         let mut next_event = 0;
+        // Client-counter snapshots (completed queries, reissues, ρ̂)
+        // taken as the generator crosses each segment boundary; the
+        // deltas between consecutive snapshots become the segments'
+        // realized reissue rates.
+        let snap = |c: &HedgedClient| {
+            let s = c.stats();
+            (s.queries, s.reissues, c.utilization().unwrap_or(f64::NAN))
+        };
+        let mut snaps = vec![snap(client)];
+        let interior = &bounds[1..bounds.len() - 1];
+        let mut next_bound = 0usize;
+        // Time-averaged ρ̂ per segment, accumulated at every poll (the
+        // end-point snapshot alone is a noisy point sample of a
+        // sawtoothing estimate).
+        let mut rho_sum = vec![0.0f64; nseg];
+        let mut rho_polls = vec![0u64; nseg];
         let poll = Duration::from_micros(200);
         loop {
             let offered = shared.offered.load(Ordering::Relaxed) as usize;
@@ -381,6 +531,16 @@ impl<B: Backend> Cluster<B> {
                 let e = script[next_event];
                 self.set_nanos_per_op(e.replica, e.nanos_per_op);
                 next_event += 1;
+            }
+            while next_bound < interior.len() && offered >= interior[next_bound] {
+                snaps.push(snap(client));
+                next_bound += 1;
+            }
+            if let Some(rho) = client.utilization() {
+                let k = bounds.partition_point(|&b| b <= offered).saturating_sub(1);
+                let k = k.min(nseg - 1);
+                rho_sum[k] += rho;
+                rho_polls[k] += 1;
             }
             if offered >= cfg.queries {
                 break;
@@ -400,6 +560,40 @@ impl<B: Backend> Cluster<B> {
             }
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Final snapshot after drain so the last segment's delta
+        // includes its stragglers.
+        snaps.push(snap(client));
+
+        let segments: Vec<SegmentReport> = (0..nseg)
+            .map(|k| {
+                let start = bounds[k];
+                let arrivals = rate_script
+                    .iter()
+                    .rev()
+                    .find(|e| e.at_query <= start)
+                    .map(|e| e.arrivals)
+                    .unwrap_or(cfg.arrivals);
+                let s = &segs[k];
+                SegmentReport {
+                    start,
+                    end: bounds[k + 1],
+                    arrivals,
+                    dispatched: s.dispatched.load(Ordering::Relaxed),
+                    dropped: s.dropped.load(Ordering::Relaxed),
+                    completed: s.completed.load(Ordering::Relaxed),
+                    failed: s.failed.load(Ordering::Relaxed),
+                    latency_ms: s.latency_ms.lock().unwrap().clone(),
+                    queries_delta: snaps[k + 1].0.saturating_sub(snaps[k].0),
+                    reissues_delta: snaps[k + 1].1.saturating_sub(snaps[k].1),
+                    utilization_end: snaps[k + 1].2,
+                    utilization_mean: if rho_polls[k] > 0 {
+                        rho_sum[k] / rho_polls[k] as f64
+                    } else {
+                        f64::NAN
+                    },
+                }
+            })
+            .collect();
 
         let latency_ms = shared.latency_ms.lock().unwrap().clone();
         LoadReport {
@@ -410,6 +604,7 @@ impl<B: Backend> Cluster<B> {
             peak_in_flight: shared.peak_in_flight.load(Ordering::Relaxed),
             elapsed: started.elapsed(),
             latency_ms,
+            segments,
         }
     }
 }
@@ -425,6 +620,28 @@ struct RunShared {
     completed: AtomicU64,
     failed: AtomicU64,
     latency_ms: Mutex<LogHistogram>,
+}
+
+/// Per-segment slice of [`RunShared`]; indexed by the dispatch-time
+/// segment so stragglers land in the segment that offered them.
+struct SegShared {
+    dispatched: AtomicU64,
+    dropped: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    latency_ms: Mutex<LogHistogram>,
+}
+
+impl SegShared {
+    fn new() -> Self {
+        SegShared {
+            dispatched: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency_ms: Mutex::new(LogHistogram::latency_ms()),
+        }
+    }
 }
 
 #[cfg(test)]

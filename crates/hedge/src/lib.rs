@@ -66,6 +66,7 @@
 //!         reoptimize_every: 500,
 //!         learning_rate: 0.5,
 //!         min_pairs: 64,
+//!         load: None,
 //!     }),
 //!     ..HedgeConfig::default()
 //! }).unwrap();

@@ -62,6 +62,7 @@ fn six_replicas_scripted_sickness_hedged_beats_unhedged() {
         max_in_flight: 512,
         seed: 0xD15EA5E,
         script,
+        rate_script: Vec::new(),
     };
 
     let run = |policy: ReissuePolicy, budget_cap: Option<f64>| {
@@ -202,4 +203,85 @@ fn burst_arrivals_account_exactly() {
     assert!(cluster.total_commands() >= report.completed);
     // Smoke the reply path once directly.
     assert_eq!(client.execute_blocking(Command::Ping).unwrap(), Reply::Pong);
+}
+
+/// A scripted arrival-rate ramp must pace AND report per segment:
+/// every arrival lands in exactly one segment, segment counters sum
+/// to the run totals, each segment reports the process that paced it,
+/// and the client-counter deltas tile the client's final totals.
+#[test]
+fn rate_script_segments_account_exactly() {
+    use hedge::harness::RateEvent;
+
+    let cluster = Cluster::spawn(3, &work_store(), WORK_CMD_COST_NANOS_FAST).unwrap();
+    let client = HedgedClient::connect(&cluster.addrs(), HedgeConfig::default()).unwrap();
+    let queries = 600;
+    let slow = Arrivals::Poisson { mean_us: 2_000 };
+    let mid = Arrivals::Poisson { mean_us: 1_000 };
+    let fast = Arrivals::Poisson { mean_us: 500 };
+    let report = cluster.run_load(
+        &client,
+        &LoadConfig {
+            queries,
+            arrivals: slow,
+            max_in_flight: 256,
+            rate_script: vec![
+                // Deliberately unsorted: run_load must sort.
+                RateEvent {
+                    at_query: 400,
+                    arrivals: fast,
+                },
+                RateEvent {
+                    at_query: 200,
+                    arrivals: mid,
+                },
+            ],
+            ..LoadConfig::default()
+        },
+        work_cmd,
+    );
+
+    assert_eq!(report.lost(), 0);
+    assert_eq!(report.segments.len(), 3, "two events => three segments");
+    let bounds: Vec<(usize, usize)> = report.segments.iter().map(|s| (s.start, s.end)).collect();
+    assert_eq!(bounds, vec![(0, 200), (200, 400), (400, 600)]);
+    // Each segment reports the arrival process that paced it.
+    let rates: Vec<f64> = report
+        .segments
+        .iter()
+        .map(|s| s.arrivals.rate_qps())
+        .collect();
+    assert!(rates[0] < rates[1] && rates[1] < rates[2], "{rates:?}");
+
+    // Segment counters tile the run totals exactly.
+    let seg_offered: u64 = report
+        .segments
+        .iter()
+        .map(|s| s.dispatched + s.dropped)
+        .sum();
+    assert_eq!(seg_offered, queries as u64);
+    for s in &report.segments {
+        assert_eq!(
+            s.dispatched + s.dropped,
+            (s.end - s.start) as u64,
+            "segment [{}, {}) must account for its own arrivals",
+            s.start,
+            s.end
+        );
+        // Histograms record the segment's completed queries only.
+        assert_eq!(s.latency_ms.len(), s.completed);
+        assert!(s.quantile(0.5).is_some());
+        // Not utilization-aware: the client reports no estimate.
+        assert!(s.utilization_end.is_nan());
+        assert!(s.utilization_mean.is_nan());
+    }
+    let seg_completed: u64 = report.segments.iter().map(|s| s.completed).sum();
+    let seg_failed: u64 = report.segments.iter().map(|s| s.failed).sum();
+    assert_eq!(seg_completed, report.completed);
+    assert_eq!(seg_failed, report.failed);
+
+    // Client-counter deltas tile the client's final totals (snapshots
+    // at boundaries, final one after drain).
+    let delta_sum: u64 = report.segments.iter().map(|s| s.queries_delta).sum();
+    assert_eq!(delta_sum, client.stats().queries);
 }

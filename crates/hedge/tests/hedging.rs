@@ -393,6 +393,7 @@ fn online_adapter_policy_stays_within_budget() {
                 reoptimize_every: 128,
                 learning_rate: 0.5,
                 min_pairs: 32,
+                load: None,
             }),
             seed: 7,
             ..HedgeConfig::default()
@@ -457,6 +458,7 @@ fn raced_hedges_feed_censored_pairs_to_adapter() {
                 reoptimize_every: 20,
                 learning_rate: 0.5,
                 min_pairs: 8,
+                load: None,
             }),
             budget_cap: Some(1.0), // let every armed hedge fire
             seed: 11,

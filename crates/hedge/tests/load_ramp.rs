@@ -1,0 +1,283 @@
+//! Integration test for utilization-aware hedging across redundancy's
+//! load-dependent sign flip: a scripted arrival-rate ramp (utilization
+//! ~0.3 → ~0.95 mid-run) through a real TCP cluster, comparing the
+//! load-aware online adapter against an unhedged baseline and a static
+//! policy frozen from a mid-load calibration.
+//!
+//! The assertions are the ISSUE's acceptance shape with tolerances
+//! sized for CI-scale runs (tail quantiles of a few hundred samples
+//! are noisy; the committed full-scale `BENCH_ramp.json` carries the
+//! tight numbers):
+//!
+//! * the aware policy's P99 is never *meaningfully* worse than
+//!   unhedged at any plateau;
+//! * the aware realized reissue rate falls as estimated utilization
+//!   rises (low plateau vs saturated plateau — the monotone shape,
+//!   within tolerance);
+//! * the segment-mean utilization estimate itself increases along the
+//!   ramp;
+//! * at the saturated plateau the aware run sheds no more load than
+//!   unhedged.
+//!
+//! `HEDGE_TCP_QUERIES=<n>` scales the per-plateau arrival count (CI
+//! smoke uses a few hundred).
+
+use hedge::harness::{Arrivals, Cluster, LoadConfig, LoadReport, RateEvent};
+use hedge::{HedgeConfig, HedgedClient};
+use kvstore::{Command, IntSet, KvStore};
+use reissue_core::load::LoadShaper;
+use reissue_core::online::OnlineConfig;
+use reissue_core::policy::ReissuePolicy;
+use std::sync::Mutex;
+
+/// Both tests pace real-time load through real TCP clusters; run
+/// concurrently they steal CPU from each other's saturated plateau and
+/// the tail quantiles measure the interference, not the policies.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// `SINTERCARD work work2` costs ~3 800 elementary ops under the
+/// probe model (|small| × log₂|large| probes + one per hit); at
+/// 250 ns/op that is ~1 ms of service burn per query. The
+/// `slow`/`slow2` pair costs ~37 500 ops (~9.4 ms) — the rare
+/// straggler command the hedgers race.
+fn work_store() -> KvStore {
+    let mut store = KvStore::new();
+    store.load_set("work", IntSet::from_unsorted((0..400u32).collect()));
+    store.load_set("work2", IntSet::from_unsorted((200..600u32).collect()));
+    store.load_set("slow", IntSet::from_unsorted((0..3_000u32).collect()));
+    store.load_set("slow2", IntSet::from_unsorted((1_500..4_500u32).collect()));
+    store
+}
+
+const WORK_CMD_COST_NANOS: u64 = 250; // ~1 ms per query
+const SERVICE_MS: f64 = 1.0;
+const REPLICAS: usize = 3;
+/// One in this many queries is the slow outlier (~10× the mean): the
+/// tail the hedgers are racing. Without it a ramp of deterministic
+/// 1 ms queries has no stragglers to rescue at low load.
+const SLOW_EVERY: usize = 150;
+
+fn work_cmd(i: usize) -> Command {
+    if i % SLOW_EVERY == SLOW_EVERY / 2 {
+        // ~9.4 ms of work: a straggler, but far from a monster that
+        // would head-of-line-block a CI-scale phase.
+        Command::SInterCard("slow".into(), "slow2".into())
+    } else {
+        Command::SInterCard("work".into(), "work2".into())
+    }
+}
+
+/// Poisson arrivals targeting the given utilization. The slow-outlier
+/// mass adds ~6% to the mean service time — folded into [`SERVICE_MS`]
+/// being a slightly round-up of the ~0.95 ms bulk cost; the
+/// utilization targets only need to be roughly right.
+fn arrivals_at(util: f64) -> Arrivals {
+    Arrivals::Poisson {
+        mean_us: ((SERVICE_MS * 1e3) / (REPLICAS as f64 * util)).max(1.0) as u64,
+    }
+}
+
+fn queries_per_phase() -> usize {
+    std::env::var("HEDGE_TCP_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_200)
+}
+
+const UTILS: [f64; 3] = [0.3, 0.6, 0.95];
+
+fn ramp_config(q: usize) -> LoadConfig {
+    LoadConfig {
+        queries: q * UTILS.len(),
+        arrivals: arrivals_at(UTILS[0]),
+        max_in_flight: 512,
+        seed: 0x10_AD11,
+        script: Vec::new(),
+        rate_script: UTILS
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &util)| RateEvent {
+                at_query: i * q,
+                arrivals: arrivals_at(util),
+            })
+            .collect(),
+    }
+}
+
+fn run_ramp(cfg: HedgeConfig, q: usize) -> (LoadReport, HedgedClient) {
+    let cluster = Cluster::spawn(REPLICAS, &work_store(), WORK_CMD_COST_NANOS).unwrap();
+    let client = HedgedClient::connect(&cluster.addrs(), cfg).unwrap();
+    let report = cluster.run_load(&client, &ramp_config(q), work_cmd);
+    (report, client)
+}
+
+fn online(budget: f64, load: Option<LoadShaper>) -> OnlineConfig {
+    OnlineConfig {
+        k: 0.99,
+        budget,
+        window: 1_000,
+        reoptimize_every: 200,
+        learning_rate: 0.5,
+        min_pairs: 32,
+        load,
+    }
+}
+
+#[test]
+fn utilization_aware_hedging_survives_the_sign_flip() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let q = queries_per_phase();
+    let budget = 0.08;
+
+    let (unhedged, _) = run_ramp(
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: None,
+            ..HedgeConfig::default()
+        },
+        q,
+    );
+    let (aware, aware_client) = run_ramp(
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: Some(online(budget, Some(LoadShaper::default()))),
+            ..HedgeConfig::default()
+        },
+        q,
+    );
+
+    assert_eq!(unhedged.lost(), 0);
+    assert_eq!(aware.lost(), 0);
+    assert_eq!(aware.segments.len(), UTILS.len());
+
+    // The client really was utilization-aware end to end.
+    let rho_now = aware_client.utilization().expect("load signal active");
+    assert!((0.0..=1.0).contains(&rho_now));
+    let snap = aware_client.load_snapshot().expect("load snapshot");
+    assert!(snap.completions > 0 && snap.dispatches >= snap.completions);
+
+    // The segment-mean utilization estimate must rise along the ramp.
+    let rhos: Vec<f64> = aware.segments.iter().map(|s| s.utilization_mean).collect();
+    assert!(
+        rhos.iter().all(|r| r.is_finite()),
+        "aware run must report ρ̂ per segment: {rhos:?}"
+    );
+    assert!(
+        rhos[2] > rhos[0] + 0.1,
+        "ρ̂ must rise across the ramp: {rhos:?}"
+    );
+
+    // Realized reissue rate falls as ρ̂ rises: the saturated plateau
+    // spends well under half of the low plateau's rate (the monotone
+    // shape, with CI-noise tolerance on the middle plateau).
+    let rates: Vec<f64> = aware.segments.iter().map(|s| s.reissue_rate()).collect();
+    assert!(
+        rates[0] > 0.005,
+        "with cluster slack the aware policy must actually hedge: {rates:?}"
+    );
+    assert!(
+        rates[2] < 0.5 * rates[0],
+        "toward saturation the aware policy must damp hard: {rates:?}"
+    );
+    assert!(
+        rates[2] < rates[1] + 0.02,
+        "rate must not rise into saturation: {rates:?}"
+    );
+
+    // P99 per plateau: never meaningfully worse than unhedged (50%
+    // headroom — CI-scale quantiles of a bimodal tail are noisy), and
+    // at the low plateau the hedging must pay for itself against the
+    // slow-outlier tail.
+    for (k, util) in UTILS.iter().enumerate() {
+        let (pu, pa) = (
+            unhedged.segments[k].quantile(0.99).unwrap(),
+            aware.segments[k].quantile(0.99).unwrap(),
+        );
+        assert!(
+            pa <= pu * 1.5 + 2.0,
+            "aware P99 {pa:.2} ms vs unhedged {pu:.2} ms at util {util} — \
+             aware must never be meaningfully worse"
+        );
+    }
+
+    // At the saturated plateau the aware run must not shed more load
+    // than the unhedged baseline (the whole point of damping).
+    assert!(
+        aware.segments[2].drop_rate() <= unhedged.segments[2].drop_rate() + 1e-9,
+        "aware drop {} > unhedged drop {}",
+        aware.segments[2].drop_rate(),
+        unhedged.segments[2].drop_rate()
+    );
+}
+
+/// A static SingleR policy calibrated by a load-blind adapter at the
+/// middle plateau, replayed over the same ramp: the aware policy must
+/// beat it at both ends of the ramp (within tolerance) — the
+/// fixed-policy failure the online+load path exists to avoid.
+#[test]
+fn aware_beats_mid_calibrated_static_at_both_ends() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let q = queries_per_phase();
+    let budget = 0.08;
+
+    // Calibrate at the middle plateau only (no ramp).
+    let cluster = Cluster::spawn(REPLICAS, &work_store(), WORK_CMD_COST_NANOS).unwrap();
+    let calib = HedgedClient::connect(
+        &cluster.addrs(),
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: Some(online(budget, None)),
+            ..HedgeConfig::default()
+        },
+    )
+    .unwrap();
+    let _ = cluster.run_load(
+        &calib,
+        &LoadConfig {
+            queries: q,
+            arrivals: arrivals_at(UTILS[1]),
+            max_in_flight: 512,
+            seed: 0x10_AD12,
+            script: Vec::new(),
+            rate_script: Vec::new(),
+        },
+        work_cmd,
+    );
+    let record = calib.online_policy().expect("calibration adapter");
+    drop(cluster);
+    let static_policy =
+        ReissuePolicy::single_r(record.delay.max(0.1), record.probability.clamp(0.001, 1.0));
+
+    let (static_run, _) = run_ramp(
+        HedgeConfig {
+            policy: static_policy,
+            online: None,
+            budget_cap: Some(1.25 * budget),
+            ..HedgeConfig::default()
+        },
+        q,
+    );
+    let (aware, _) = run_ramp(
+        HedgeConfig {
+            policy: ReissuePolicy::None,
+            online: Some(online(budget, Some(LoadShaper::default()))),
+            ..HedgeConfig::default()
+        },
+        q,
+    );
+
+    let ends = [0, UTILS.len() - 1];
+    for k in ends {
+        let (ps, pa) = (
+            static_run.segments[k].quantile(0.99).unwrap(),
+            aware.segments[k].quantile(0.99).unwrap(),
+        );
+        assert!(
+            pa <= ps * 1.5 + 2.0,
+            "aware P99 {pa:.2} ms vs static {ps:.2} ms at util {} — \
+             the frozen mid-load policy must not beat load-aware adaptation at the ends",
+            UTILS[k]
+        );
+    }
+}

@@ -109,6 +109,7 @@ fn sick_shard_degrades_gracefully_within_shared_budget() {
                 reoptimize_every: 100,
                 learning_rate: 0.5,
                 min_pairs: 24,
+                load: None,
             }),
             budget: Some(budget),
             ..FanoutConfig::default()

@@ -73,6 +73,7 @@ fn online_config(min_pairs: usize) -> OnlineConfig {
         reoptimize_every: 250,
         learning_rate: 0.5,
         min_pairs,
+        load: None,
     }
 }
 

@@ -170,6 +170,7 @@ fn main() {
                 reoptimize_every: 100,
                 learning_rate: 0.5,
                 min_pairs: 24,
+                load: None,
             }),
             budget: Some(BUDGET),
             ..FanoutConfig::default()

@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod figs_discipline;
 pub mod figs_ext;
 pub mod figs_fanout;
 pub mod figs_ramp;

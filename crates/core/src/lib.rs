@@ -34,6 +34,11 @@
 //!   redundancy's load-dependent sign flip.
 //! * [`metrics`] — exact and streaming quantiles, latency-reduction
 //!   ratios, the paper's *remediation rate*, and service-time histograms.
+//! * [`discipline`] — the server-side queue disciplines (FIFO,
+//!   primary-priority, round-robin, cost-priority, aged
+//!   shortest-burn) shared by the cluster simulator and the TCP
+//!   serving path, so reissue policy × scheduling interactions are
+//!   measured on identical semantics.
 //!
 //! The discrete-event simulator and the Redis/Lucene-like engines that
 //! exercise these algorithms live in sibling crates (`simulator`,
@@ -45,6 +50,7 @@
 pub mod adaptive;
 pub mod budget;
 pub mod censored;
+pub mod discipline;
 pub mod ecdf;
 pub mod load;
 pub mod metrics;

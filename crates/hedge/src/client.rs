@@ -33,7 +33,7 @@
 
 use crate::rt::{race, select_all, Either, Runtime};
 use crate::sync::CancelToken;
-use crate::transport::{ReplicaSet, TransportError};
+use crate::transport::{ReplicaSet, TieSpec, TransportError};
 
 use kvstore::{Command, Reply};
 use rand::rngs::SmallRng;
@@ -54,6 +54,32 @@ use std::time::{Duration, Instant};
 /// beyond any useful schedule (Thm 3.2: one stage already suffices at
 /// the optimum), so in practice every stage gets its own bucket.
 pub const MAX_STAGES: usize = 8;
+
+/// How a raced query's losing attempts get retracted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CancellationStyle {
+    /// Client-driven: the race winner's completion triggers `CANCEL`
+    /// frames from this client to each loser's replica — retraction
+    /// costs a full client→replica hop *after* the winner finished.
+    #[default]
+    Client,
+    /// Server-side tied requests ("The Tail at Scale"): the primary
+    /// and the first reissue register a tie, and whichever replica
+    /// *dequeues* its copy first retracts the other directly over a
+    /// server-to-server channel — bounding the duplicated work by the
+    /// replica-to-replica one-way delay instead of the winner's full
+    /// service time. Client-driven `CANCEL` stays armed as a fallback
+    /// for attempts the tie never covered (later stages, lost frames).
+    Tied,
+}
+
+/// Process-global tie id source. Replicas key tie state by id alone,
+/// so ids must be unique across every client in the process.
+static NEXT_TIE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_tie_id() -> u64 {
+    NEXT_TIE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Configuration for [`HedgedClient`].
 #[derive(Clone, Debug)]
@@ -120,6 +146,12 @@ pub struct HedgeConfig {
     pub workers: usize,
     /// Seed for the reissue coin flips.
     pub seed: u64,
+    /// How losing attempts are retracted (see [`CancellationStyle`]).
+    /// `Tied` registers the primary and the first reissue as a
+    /// server-side tied pair so the serving replica cancels the peer
+    /// at dequeue time; `Client` (default) relies on this client's
+    /// `CANCEL` after the race resolves.
+    pub cancellation: CancellationStyle,
 }
 
 impl Default for HedgeConfig {
@@ -133,6 +165,7 @@ impl Default for HedgeConfig {
             pipeline: 1,
             workers: 4,
             seed: 0x5EED,
+            cancellation: CancellationStyle::Client,
         }
     }
 }
@@ -273,6 +306,7 @@ struct HcInner {
     /// sorted-`Vec`-per-probe this client used to keep.
     latencies_ms: Mutex<reissue_core::metrics::LogHistogram>,
     governor: Option<Arc<BudgetGovernor>>,
+    cancellation: CancellationStyle,
     /// Aggregate load estimator, present iff the online config opts
     /// into utilization-aware damping ([`OnlineConfig::load`]). Fed on
     /// every dispatch (primary and reissue) and every query
@@ -336,6 +370,7 @@ impl HedgedClient {
                 },
                 latencies_ms: Mutex::new(reissue_core::metrics::LogHistogram::latency_ms()),
                 governor,
+                cancellation: cfg.cancellation,
                 load,
             }),
         })
@@ -480,10 +515,21 @@ impl HedgedClient {
                 load.note_dispatch();
             }
             let primary_token = CancelToken::new();
-            let primary = inner
-                .replicas
-                .replica(primary_idx)
-                .request(cmd.clone(), primary_token.clone());
+            // Tied cancellation: register the primary under a fresh
+            // tie id whenever a reissue *may* follow (non-empty
+            // schedule), so a first reissue can name it as the peer to
+            // retract at dequeue time.
+            let primary_tie = (inner.cancellation == CancellationStyle::Tied
+                && !schedule.is_empty())
+            .then(|| TieSpec {
+                id: next_tie_id(),
+                peer: None,
+            });
+            let primary = inner.replicas.replica(primary_idx).request_tied(
+                cmd.clone(),
+                primary_token.clone(),
+                primary_tie,
+            );
 
             let outcome = if schedule.is_empty() {
                 primary.await.map(|r| (r, false))
@@ -495,6 +541,7 @@ impl HedgedClient {
                         primary,
                         primary_token,
                         primary_idx,
+                        primary_tie,
                         started,
                         &schedule,
                     )
@@ -661,12 +708,14 @@ impl HcInner {
     ///
     /// Returns `(reply, raced)` where `raced` records whether any
     /// reissue was actually dispatched.
+    #[allow(clippy::too_many_arguments)]
     async fn staged_race(
         self: Arc<Self>,
         cmd: &Command,
         primary: crate::transport::InFlight,
         primary_token: CancelToken,
         primary_idx: usize,
+        primary_tie: Option<TieSpec>,
         started: Instant,
         schedule: &[(usize, f64)],
     ) -> Result<(Reply, bool), TransportError> {
@@ -694,6 +743,11 @@ impl HcInner {
         // Attempts that resolved with a transport error mid-race; pair
         // participants among them report `Failed` to the book below.
         let mut failed_kinds: Vec<AttemptKind> = Vec::new();
+        // Attempts the *server* retracted mid-race — a tied peer's
+        // dequeue-time cancel resolves the loser with `Cancelled`
+        // before this client ever cancels it. Each carries its
+        // elapsed-at-retraction censoring bound for the pair book.
+        let mut cancelled_kinds: Vec<(AttemptKind, f64)> = Vec::new();
         let mut last_err = TransportError::ConnectionClosed;
 
         let (win_idx, reply, losers) = loop {
@@ -710,9 +764,11 @@ impl HcInner {
                     return Err(last_err);
                 }
                 pending.pop_front();
+                let tie = self.first_reissue_tie(primary_tie, primary_idx, dispatched_reissues);
                 self.dispatch_stage(
                     cmd,
                     stage,
+                    tie,
                     &mut targets,
                     &mut dispatched_reissues,
                     &mut futs,
@@ -741,9 +797,12 @@ impl HcInner {
                             continue;
                         }
                         pending.pop_front();
+                        let tie =
+                            self.first_reissue_tie(primary_tie, primary_idx, dispatched_reissues);
                         self.dispatch_stage(
                             cmd,
                             stage,
+                            tie,
                             &mut targets,
                             &mut dispatched_reissues,
                             &mut futs,
@@ -758,6 +817,21 @@ impl HcInner {
             };
             match out {
                 Ok(reply) => break (i, reply, rest),
+                Err(TransportError::Cancelled) => {
+                    // A tied peer retracted this attempt server-side:
+                    // a clean in-time cancel, not a failure. Record
+                    // the censoring bound now (the attempt had been
+                    // outstanding exactly this long when the
+                    // retraction confirmed) and keep racing the rest.
+                    let m = meta.remove(i);
+                    self.counters
+                        .cancelled_in_time
+                        .fetch_add(1, Ordering::Relaxed);
+                    let ms = m.dispatched.elapsed().as_secs_f64() * 1e3;
+                    cancelled_kinds.push((m.kind, ms));
+                    last_err = TransportError::Cancelled;
+                    futs = rest;
+                }
                 Err(e) => {
                     // Drop the failed attempt from the race and keep
                     // the survivors (and the schedule) going.
@@ -806,6 +880,17 @@ impl HcInner {
                     AttemptKind::Reissue { .. } => {}
                 }
             }
+            for (kind, ms) in cancelled_kinds {
+                match kind {
+                    AttemptKind::Primary => {
+                        self.report_side(&book, true, SideState::Known(Obs::Censored(ms)));
+                    }
+                    AttemptKind::Reissue { dispatch_order: 0 } => {
+                        self.report_side(&book, false, SideState::Known(Obs::Censored(ms)));
+                    }
+                    AttemptKind::Reissue { .. } => {}
+                }
+            }
             for (fut, m) in losers.into_iter().zip(meta) {
                 match m.kind {
                     AttemptKind::Primary => {
@@ -825,13 +910,34 @@ impl HcInner {
         Ok((reply, raced))
     }
 
+    /// The tie to attach to the next reissue, if it is the *first*
+    /// dispatched reissue of a tied query: a fresh id naming the
+    /// primary's `(replica address, tie id)` as the peer to retract at
+    /// dequeue time. Later stages (and untied queries) get `None`.
+    fn first_reissue_tie(
+        &self,
+        primary_tie: Option<TieSpec>,
+        primary_idx: usize,
+        dispatched_reissues: usize,
+    ) -> Option<TieSpec> {
+        if dispatched_reissues > 0 {
+            return None;
+        }
+        primary_tie.map(|pt| TieSpec {
+            id: next_tie_id(),
+            peer: Some((self.replicas.replica(primary_idx).addr(), pt.id)),
+        })
+    }
+
     /// Dispatches one stage's reissue into an ongoing race: counts it
     /// (total, per-stage, per-target), targets the healthiest replica
     /// not already carrying this query, and registers the attempt.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_stage(
         &self,
         cmd: &Command,
         stage: usize,
+        tie: Option<TieSpec>,
         targets: &mut Vec<usize>,
         dispatched_reissues: &mut usize,
         futs: &mut Vec<crate::transport::InFlight>,
@@ -857,7 +963,7 @@ impl HcInner {
         futs.push(
             self.replicas
                 .replica(idx)
-                .request(cmd.clone(), token.clone()),
+                .request_tied(cmd.clone(), token.clone(), tie),
         );
         meta.push(AttemptMeta {
             token,

@@ -319,10 +319,26 @@ impl<B: Backend> Cluster<B> {
     where
         B: Clone,
     {
+        Self::spawn_with(
+            n,
+            store,
+            TcpServerConfig {
+                nanos_per_op,
+                ..TcpServerConfig::default()
+            },
+        )
+    }
+
+    /// Like [`Cluster::spawn`] but with full control over the replica
+    /// configuration (queue discipline, burn rate).
+    pub fn spawn_with(n: usize, store: &B, cfg: TcpServerConfig) -> std::io::Result<Cluster<B>>
+    where
+        B: Clone,
+    {
         assert!(n > 0, "a cluster needs at least one replica");
         Ok(Cluster {
-            servers: spawn_replicas(n, store, TcpServerConfig { nanos_per_op })?,
-            baseline_nanos_per_op: nanos_per_op,
+            servers: spawn_replicas(n, store, cfg)?,
+            baseline_nanos_per_op: cfg.nanos_per_op,
         })
     }
 

@@ -11,9 +11,12 @@
 //!   the runtime is ~300 lines of `std`).
 //! * [`sync`] — oneshot channels and the [`sync::CancelToken`]
 //!   propagated from a hedged query to the backend.
-//! * [`server`] — [`server::TcpServer`]: `kvstore::MiniServer`'s
-//!   round-robin loop behind real sockets, with wall-clock service
-//!   times and tied-request retraction (`CANCEL <seq>`).
+//! * [`server`] — [`server::TcpServer`]: the kvstore behind real
+//!   sockets with wall-clock service times, a pluggable queue
+//!   discipline ([`server::Discipline`], shared with the simulator),
+//!   client-driven retraction (`CANCEL <seq>`), and server-side tied
+//!   requests that cancel the peer copy at *dequeue* time over a
+//!   replica-to-replica channel.
 //! * [`transport`] — [`transport::ReplicaSet`]: pooled async RESP
 //!   connections per replica, each replica carrying a
 //!   [`transport::ReplicaHealth`] latency/error EWMA that drives
@@ -50,7 +53,7 @@
 //! let replicas = hedge::spawn_replicas(
 //!     3,
 //!     &store,
-//!     TcpServerConfig { nanos_per_op: 200 },
+//!     TcpServerConfig { nanos_per_op: 200, ..TcpServerConfig::default() },
 //! ).unwrap();
 //! let addrs: Vec<_> = replicas.iter().map(|r| r.local_addr()).collect();
 //!
@@ -85,9 +88,11 @@ pub mod server;
 pub mod sync;
 pub mod transport;
 
-pub use client::{BudgetGovernor, HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES};
+pub use client::{
+    BudgetGovernor, CancellationStyle, HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES,
+};
 pub use harness::{Arrivals, Cluster, LoadConfig, LoadReport, SicknessEvent};
 pub use rt::{race, select_all, Either, JoinHandle, Runtime, SelectAll, Sleep};
-pub use server::{spawn_replicas, TcpServer, TcpServerConfig};
+pub use server::{spawn_replicas, Discipline, TcpServer, TcpServerConfig, TieStats};
 pub use sync::CancelToken;
-pub use transport::{InFlight, Replica, ReplicaHealth, ReplicaSet, TransportError};
+pub use transport::{InFlight, Replica, ReplicaHealth, ReplicaSet, TieSpec, TransportError};

@@ -1,39 +1,60 @@
-//! A TCP transport for the kvstore: real sockets in front of
-//! [`MiniServer`]'s round-robin loop.
+//! A TCP transport for the kvstore with a pluggable queue
+//! [`Discipline`] and server-side *tied requests*.
 //!
-//! Each accepted socket becomes one `MiniServer` connection. A reader
-//! thread per socket decodes RESP frames and injects them into the
-//! server's in-process pipes; a single sweeper thread drives
-//! [`MiniServer::sweep`] — preserving the paper's §6.2 head-of-line
-//! blocking exactly, now with wall-clock service times (the sweeper
-//! burns `nanos_per_op` per unit of store cost, so a monster `SINTER`
-//! really does stall every other connection's next reply).
+//! Every accepted socket gets a reader thread that decodes RESP frames
+//! into per-connection FIFO queues. Only each connection's **head**
+//! request is admitted into one central [`WaitQueue`], so the
+//! configured cross-connection discipline (FIFO, cost-priority,
+//! shortest-expected-burn, round-robin, …) can reorder freely while
+//! per-connection reply order — the RESP contract — is preserved by
+//! construction. A single sweeper thread pops the central queue,
+//! executes against the shared backend, burns `cost × nanos_per_op`
+//! of wall-clock service time, and writes the reply. The default
+//! discipline, `RoundRobin { connections: 0 }`, reproduces the old
+//! `MiniServer` round-robin sweep exactly.
 //!
 //! ## Tied-request cancellation
 //!
 //! Requests on a connection carry an implicit sequence number (0, 1,
 //! 2, …, counted by both sides). A client that no longer needs request
 //! `n` — because its hedged twin already won — sends `CANCEL n` on the
-//! same connection. If frame `n` is still queued (not yet swept), the
-//! transport *retracts* it atomically via
-//! [`Connection::take_inbound`] and replies `-ERR cancelled` in its
-//! place, so the reply stream stays in order and the server never does
-//! the work. If the request already executed, the `CANCEL` is a no-op
-//! and the real reply stands.
+//! same connection. If the request is still queued (not yet swept) it
+//! is *retracted* and `-ERR cancelled` takes its reply slot, so the
+//! reply stream stays in order and the server never does the work.
+//!
+//! ## Server-side ties (dequeue-time peer cancellation)
+//!
+//! The client-driven `CANCEL` retracts a loser only after the winning
+//! reply has crossed the network *twice* (reply to client, cancel back
+//! to server). Following "The Tail at Scale", a tied pair instead
+//! cancels at **dequeue time**: the primary is prefixed with
+//! `TIE <id>` and the reissue with `TIE <id'> <addr> <id>` naming its
+//! peer. The reissue's server announces itself to the primary's server
+//! (`TIEPEER`) *after* registering and enqueueing — so a subsequent
+//! `CANCELTIE` always finds the registration — and whichever server
+//! dequeues its copy first sends `CANCELTIE` to the other over a small
+//! server-to-server channel, retracting the twin while it still sits
+//! in a queue. The wasted-work window shrinks from a full response
+//! round-trip to one queue-exchange latency. If the announce arrives
+//! after the primary already left the queue, the receiving server
+//! *collapses* the tie by answering `CANCELTIE` immediately.
 
-use kvstore::resp::{encode_reply, peek_command, CommandFrame};
-use kvstore::server::{Connection, MiniServer, ServerStats};
-use kvstore::Reply;
-use kvstore::{Backend, KvStore};
+use kvstore::resp::{decode_command, encode_command, encode_reply};
+use kvstore::server::ServerStats;
+use kvstore::{Backend, Command, KvStore, Reply};
+pub use reissue_core::discipline::Discipline;
+use reissue_core::discipline::{QueueItem, WaitQueue};
 
-use bytes::{Buf, BytesMut};
+use bytes::BytesMut;
+use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Reply body sent for a retracted (tied-cancelled) request.
+/// Reply body sent for a retracted (cancelled) request.
 pub const CANCELLED_MARKER: &str = "cancelled";
 
 /// The retraction reply, pre-encoded: exactly what
@@ -41,8 +62,14 @@ pub const CANCELLED_MARKER: &str = "cancelled";
 /// kept as a static frame so the cancel fast path allocates nothing.
 const CANCELLED_FRAME: &[u8] = b"-ERR cancelled\r\n";
 
+/// Ceiling on a single command's service burn. `cost × nanos_per_op`
+/// is data-dependent (a giant `SINTER`), so the product is saturating
+/// and capped rather than trusted: without this a crafted cost could
+/// overflow `u64` nanoseconds or park the sweeper for centuries.
+const MAX_BURN_NANOS: u64 = 5_000_000_000;
+
 /// Configuration for [`TcpServer`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct TcpServerConfig {
     /// Wall-clock nanoseconds of service time per unit of store cost.
     /// `0` disables the burn (replies as fast as the store executes).
@@ -50,37 +77,248 @@ pub struct TcpServerConfig {
     /// e.g. `1_000` makes a 100k-element intersection take ~100 ms —
     /// a "query of death" — while a `GET` stays ~µs.
     pub nanos_per_op: u64,
+    /// Cross-connection scheduling discipline for the central wait
+    /// queue. Per-connection order is always FIFO (the RESP reply
+    /// contract); the discipline chooses *between* connection heads.
+    pub discipline: Discipline,
 }
 
-struct Pending {
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        TcpServerConfig {
+            nanos_per_op: 0,
+            // Dynamic round-robin over accept-order connection ids:
+            // the historical MiniServer sweep semantics.
+            discipline: Discipline::RoundRobin { connections: 0 },
+        }
+    }
+}
+
+/// Server-side tie protocol counters (see [`TcpServer::tie_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TieStats {
+    /// Tie prefixes registered (primaries and reissues).
+    pub registered: u64,
+    /// `CANCELTIE` messages sent to a peer at dequeue time.
+    pub peer_cancels_sent: u64,
+    /// Queued requests retracted here because a peer's `CANCELTIE`
+    /// arrived in time.
+    pub retractions: u64,
+    /// `TIEPEER` announces that arrived after the local copy already
+    /// left the queue (tie collapsed; `CANCELTIE` answered at once).
+    pub collapses: u64,
+}
+
+/// A tie prefix attached to the next request on a connection.
+#[derive(Clone, Copy, Debug)]
+struct TieInfo {
+    id: u64,
+    /// `Some((peer server, peer tie id))` on reissues.
+    peer: Option<(SocketAddr, u64)>,
+}
+
+/// One queued request on a connection.
+struct Entry {
+    seq: u64,
+    cmd: Command,
+    /// Pre-execution cost estimate ([`Backend::estimate_cost`]).
+    cost: u64,
+    /// Milliseconds since server start, for age-based disciplines.
+    enqueued_at: f64,
+    tie: Option<TieInfo>,
+    is_reissue: bool,
+    /// Retracted; emits the cancelled marker when it reaches the head.
+    cancelled: bool,
+    /// Currently in the central queue (or held by the sweeper).
+    admitted: bool,
+    /// The sweeper has committed to executing it; too late to cancel.
+    executing: bool,
+}
+
+struct ConnInner {
+    queue: VecDeque<Entry>,
     next_seq: u64,
-    injected: Option<u64>,
 }
 
 struct ConnState {
-    pipe: Connection,
+    /// Accept-order id, the round-robin key.
+    id: usize,
     writer: Mutex<TcpStream>,
-    pending: Mutex<Pending>,
+    inner: Mutex<ConnInner>,
     dead: AtomicBool,
 }
 
+/// The central queue's view of a connection head.
+struct SchedItem {
+    conn: Arc<ConnState>,
+    seq: u64,
+    cost: f64,
+    enqueued_at: f64,
+    is_reissue: bool,
+}
+
+impl QueueItem for SchedItem {
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+    fn enqueued_at(&self) -> f64 {
+        self.enqueued_at
+    }
+    fn is_reissue(&self) -> bool {
+        self.is_reissue
+    }
+    fn connection(&self) -> usize {
+        self.conn.id
+    }
+}
+
+/// A registered tie: where the tied request currently sits.
+struct TieReg {
+    conn: Arc<ConnState>,
+    seq: u64,
+}
+
+/// A bounded remember-set of tie ids: oldest inserted is evicted once
+/// the cap is hit, so a server that never sees the matching event
+/// cannot leak memory.
+struct BoundedSet {
+    set: std::collections::HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl BoundedSet {
+    const CAP: usize = 4096;
+
+    fn new() -> Self {
+        BoundedSet {
+            set: std::collections::HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, id: u64) {
+        if self.set.insert(id) {
+            self.order.push_back(id);
+            if self.order.len() > Self::CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        // The stale `order` slot is left behind; eviction tolerates it.
+        self.set.remove(&id)
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.set.contains(&id)
+    }
+}
+
+/// All tie state, under one leaf mutex. The protocol messages
+/// (`TIEPEER`, `CANCELTIE`) travel on separate sockets from the tied
+/// requests themselves, so any arrival order is possible; the
+/// tombstone sets make every ordering converge:
+///
+/// * `regs` — ties whose request is queued here right now.
+/// * `done` — ties that already left a queue here (dequeued for
+///   execution, or retracted). A `TIEPEER` for a done tie collapses
+///   (answer `CANCELTIE` at once); a `CANCELTIE` for one is a no-op.
+/// * `pending_peers` — `TIEPEER` arrived before its tie registered
+///   (the reader can stall behind a long `Backend::execute` while
+///   estimating costs): attach the peer at registration time.
+/// * `precancelled` — `CANCELTIE` arrived before its tie registered:
+///   the request is born cancelled and never executes.
+struct TieTable {
+    regs: HashMap<u64, TieReg>,
+    done: BoundedSet,
+    pending_peers: HashMap<u64, (SocketAddr, u64)>,
+    pending_order: VecDeque<u64>,
+    precancelled: BoundedSet,
+}
+
+impl TieTable {
+    fn new() -> Self {
+        TieTable {
+            regs: HashMap::new(),
+            done: BoundedSet::new(),
+            pending_peers: HashMap::new(),
+            pending_order: VecDeque::new(),
+            precancelled: BoundedSet::new(),
+        }
+    }
+
+    /// Marks a tie as having left the queue (executed or retracted).
+    fn finish(&mut self, id: u64) {
+        self.regs.remove(&id);
+        self.done.insert(id);
+    }
+
+    fn store_pending_peer(&mut self, id: u64, peer: (SocketAddr, u64)) {
+        if self.pending_peers.insert(id, peer).is_none() {
+            self.pending_order.push_back(id);
+            if self.pending_order.len() > BoundedSet::CAP {
+                if let Some(old) = self.pending_order.pop_front() {
+                    self.pending_peers.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+struct TieCounters {
+    registered: AtomicU64,
+    peer_cancels_sent: AtomicU64,
+    retractions: AtomicU64,
+    collapses: AtomicU64,
+}
+
 struct Shared<B: Backend> {
-    server: Mutex<MiniServer<B>>,
+    store: Mutex<B>,
+    stats: Mutex<ServerStats>,
+    /// Central cross-connection wait queue. Lock order: a connection's
+    /// `inner` may be held while taking `sched` (admission, take), and
+    /// `ties` is only ever taken last or alone — never the reverse.
+    sched: Mutex<WaitQueue<SchedItem>>,
     sweep_cv: Condvar,
     conns: Mutex<Vec<Arc<ConnState>>>,
+    /// Tie registrations and out-of-order tombstones.
+    ties: Mutex<TieTable>,
+    /// Outbound server-to-server tie messages; `None` once shut down.
+    tie_tx: Mutex<Option<mpsc::Sender<(SocketAddr, Command)>>>,
+    tie_counters: TieCounters,
     stop: AtomicBool,
     /// Live copy of [`TcpServerConfig::nanos_per_op`]; see
     /// [`TcpServer::set_nanos_per_op`].
     nanos_per_op: AtomicU64,
+    epoch: Instant,
+    local_addr: SocketAddr,
+    /// Reader threads, tracked so shutdown can join them (they used to
+    /// be spawned detached and leaked past shutdown).
+    reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<B: Backend> Shared<B> {
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn send_tie(&self, addr: SocketAddr, cmd: Command) {
+        if let Some(tx) = self.tie_tx.lock().unwrap().as_ref() {
+            let _ = tx.send((addr, cmd));
+        }
+    }
 }
 
 /// A replica listening on a real TCP socket.
 ///
 /// Generic over the [`Backend`] it serves (a [`KvStore`] by default, a
 /// BM25 index shard for scatter-gather fan-out, …); the transport —
-/// RESP framing, round-robin sweep, wall-clock burn, tied-request
+/// RESP framing, discipline scheduling, wall-clock burn, tied-request
 /// cancellation — is backend-agnostic. Shuts down (and joins all
-/// threads) on [`TcpServer::shutdown`] or drop.
+/// threads, readers included) on [`TcpServer::shutdown`] or drop.
 pub struct TcpServer<B: Backend = KvStore> {
     local_addr: SocketAddr,
     shared: Arc<Shared<B>>,
@@ -93,12 +331,26 @@ impl<B: Backend> TcpServer<B> {
     pub fn bind(addr: &str, store: B, cfg: TcpServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let (tie_tx, tie_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
-            server: Mutex::new(MiniServer::new(store)),
+            store: Mutex::new(store),
+            stats: Mutex::new(ServerStats::default()),
+            sched: Mutex::new(WaitQueue::new(cfg.discipline)),
             sweep_cv: Condvar::new(),
             conns: Mutex::new(Vec::new()),
+            ties: Mutex::new(TieTable::new()),
+            tie_tx: Mutex::new(Some(tie_tx)),
+            tie_counters: TieCounters {
+                registered: AtomicU64::new(0),
+                peer_cancels_sent: AtomicU64::new(0),
+                retractions: AtomicU64::new(0),
+                collapses: AtomicU64::new(0),
+            },
             stop: AtomicBool::new(false),
             nanos_per_op: AtomicU64::new(cfg.nanos_per_op),
+            epoch: Instant::now(),
+            local_addr,
+            reader_threads: Mutex::new(Vec::new()),
         });
 
         let mut threads = Vec::new();
@@ -116,6 +368,12 @@ impl<B: Backend> TcpServer<B> {
                 .spawn(move || sweep_loop(&sweep_shared))
                 .expect("spawn sweeper thread"),
         );
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("kv-tie-{local_addr}"))
+                .spawn(move || tie_sender_loop(&tie_rx))
+                .expect("spawn tie sender thread"),
+        );
 
         Ok(TcpServer {
             local_addr,
@@ -131,12 +389,23 @@ impl<B: Backend> TcpServer<B> {
 
     /// Server-side execution statistics so far.
     pub fn stats(&self) -> ServerStats {
-        self.shared.server.lock().unwrap().stats()
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Server-side tie protocol counters so far.
+    pub fn tie_stats(&self) -> TieStats {
+        let c = &self.shared.tie_counters;
+        TieStats {
+            registered: c.registered.load(Ordering::Relaxed),
+            peer_cancels_sent: c.peer_cancels_sent.load(Ordering::Relaxed),
+            retractions: c.retractions.load(Ordering::Relaxed),
+            collapses: c.collapses.load(Ordering::Relaxed),
+        }
     }
 
     /// Direct backend access (dataset loading before serving).
     pub fn with_store<R>(&self, f: impl FnOnce(&mut B) -> R) -> R {
-        f(self.shared.server.lock().unwrap().store_mut())
+        f(&mut self.shared.store.lock().unwrap())
     }
 
     /// Changes the per-cost-unit service burn while serving. Lets a
@@ -151,21 +420,34 @@ impl<B: Backend> TcpServer<B> {
     }
 
     /// Connections currently tracked. Disconnected peers are reaped by
-    /// the sweeper, so this returns to zero once clients go away (it
-    /// used to grow monotonically — see `reap_dead`).
+    /// the sweeper, so this returns to zero once clients go away.
     pub fn connection_count(&self) -> usize {
         self.shared.conns.lock().unwrap().len()
     }
 
-    /// Stops all threads and closes the listener.
+    /// Stops all threads — accept, sweeper, tie sender, and every
+    /// per-connection reader — and joins them.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.sweep_cv.notify_all();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
+        // Dropping the sender disconnects the tie thread's recv loop.
+        drop(self.shared.tie_tx.lock().unwrap().take());
         for t in self.threads.lock().unwrap().drain(..) {
             let _ = t.join();
         }
+        // Readers exit within one read-timeout tick of the stop flag;
+        // joining them here (instead of leaking detached threads) means
+        // no reader can touch the store after shutdown returns.
+        for t in self.shared.reader_threads.lock().unwrap().drain(..) {
+            let _ = t.join();
+        }
+        // Drop every connection (and queued scheduler entries holding
+        // them) so client sockets see EOF once shutdown returns.
+        self.shared.conns.lock().unwrap().clear();
+        *self.shared.sched.lock().unwrap() = WaitQueue::new(Discipline::Fifo);
+        self.shared.ties.lock().unwrap().regs.clear();
     }
 }
 
@@ -176,9 +458,25 @@ impl<B: Backend> Drop for TcpServer<B> {
 }
 
 fn accept_loop<B: Backend>(listener: &TcpListener, shared: &Arc<Shared<B>>) {
+    let mut next_id = 0usize;
+    // Backoff for persistent accept errors (EMFILE, ENOBUFS, …): the
+    // old loop hot-spun on `continue`, pinning a core exactly when the
+    // machine was already resource-starved.
+    let mut backoff = Duration::from_millis(1);
     while !shared.stop.load(Ordering::SeqCst) {
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
+                stream
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+                continue;
+            }
         };
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -188,31 +486,34 @@ fn accept_loop<B: Backend>(listener: &TcpListener, shared: &Arc<Shared<B>>) {
         let Ok(writer) = stream.try_clone() else {
             continue;
         };
-        let pipe = shared.server.lock().unwrap().accept();
         let state = Arc::new(ConnState {
-            pipe,
+            id: next_id,
             writer: Mutex::new(writer),
-            pending: Mutex::new(Pending {
+            inner: Mutex::new(ConnInner {
+                queue: VecDeque::new(),
                 next_seq: 0,
-                injected: None,
             }),
             dead: AtomicBool::new(false),
         });
+        next_id += 1;
         shared.conns.lock().unwrap().push(state.clone());
         let reader_shared = shared.clone();
-        // Reader threads exit on socket close or server stop; the
-        // sweeper joins them implicitly by process teardown order.
-        let _ = std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("kv-conn-reader".into())
             .spawn(move || reader_loop(stream, &state, &reader_shared));
+        if let Ok(handle) = handle {
+            shared.reader_threads.lock().unwrap().push(handle);
+        }
     }
 }
 
 fn reader_loop<B: Backend>(mut stream: TcpStream, state: &Arc<ConnState>, shared: &Arc<Shared<B>>) {
     let mut buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
-    // Reused for error replies and cancel-confirmation flushes.
     let mut scratch = BytesMut::new();
+    // A `TIE` control frame applies to the next request on this
+    // connection; it consumes no sequence number and gets no reply.
+    let mut pending_tie: Option<TieInfo> = None;
     while !shared.stop.load(Ordering::SeqCst) {
         match stream.read(&mut chunk) {
             Ok(0) => break, // peer closed
@@ -225,206 +526,402 @@ fn reader_loop<B: Backend>(mut stream: TcpStream, state: &Arc<ConnState>, shared
             }
             Err(_) => break,
         }
-        // One sweeper wakeup per socket read, not per frame: a
-        // pipelined client lands several frames per segment, and
-        // notifying for each would pay a futex wake apiece for work
-        // the sweeper drains in one cycle anyway.
-        let mut notify = false;
         loop {
-            // Validate-and-classify only: the raw frame bytes are
-            // forwarded into the pipe verbatim, so the sweeper's
-            // decode is the one materializing decode on the path
-            // (previously the frame was decoded here and re-encoded
-            // into the pipe — a full extra codec round per request).
-            match peek_command(&buf[..]) {
-                Ok(Some((CommandFrame::Cancel(seq), consumed))) => {
-                    buf.advance(consumed);
-                    handle_cancel(state, seq, &mut scratch);
-                }
-                Ok(Some((CommandFrame::Request, consumed))) => {
-                    let mut pending = state.pending.lock().unwrap();
-                    let seq = pending.next_seq;
-                    pending.next_seq += 1;
-                    state.pipe.send_bytes(&buf[..consumed]);
-                    buf.advance(consumed);
-                    pending.injected = Some(seq);
-                    drop(pending);
-                    notify = true;
-                }
+            match decode_command(&mut buf) {
+                Ok(Some(Command::Cancel(seq))) => client_cancel(shared, state, seq),
+                Ok(Some(Command::Tie { id, peer })) => pending_tie = Some(TieInfo { id, peer }),
+                Ok(Some(Command::TiePeer {
+                    id,
+                    peer_addr,
+                    peer_id,
+                })) => handle_tie_peer(shared, id, peer_addr, peer_id),
+                Ok(Some(Command::CancelTie(id))) => handle_cancel_tie(shared, id),
+                Ok(Some(cmd)) => enqueue_request(shared, state, cmd, pending_tie.take()),
                 Ok(None) => break,
                 Err(err) => {
                     // Mirror MiniServer: error reply, drop the rest.
                     buf.clear();
+                    shared.stats.lock().unwrap().protocol_errors += 1;
                     scratch.clear();
                     encode_reply(&Reply::Error(err.to_string()), &mut scratch);
-                    state.pipe.push_outbound(&scratch);
-                    notify = true;
+                    let inner = state.inner.lock().unwrap();
+                    write_frame(state, &scratch);
+                    drop(inner);
                 }
             }
-        }
-        if notify {
-            shared.sweep_cv.notify_all();
         }
     }
     state.dead.store(true, Ordering::SeqCst);
 }
 
-/// Attempts to retract queued request `seq` (tied-request cancel).
-fn handle_cancel(state: &Arc<ConnState>, seq: u64, scratch: &mut BytesMut) {
-    let pending = state.pending.lock().unwrap();
-    // Only the most recently injected request is retractable, and only
-    // if its frame is still sitting in the pipe. `take_inbound` is
-    // atomic with the sweep's decode, so the frame either comes back
-    // whole (never executed) or is already being executed (CANCEL
-    // no-op; the real reply stands).
-    if pending.injected == Some(seq) {
-        let taken = state.pipe.take_inbound();
-        if !taken.is_empty() {
-            // Retraction substitutes the cancelled marker for the
-            // frame's reply, so it is only order-safe when the target
-            // is the *only* frame in the pipe — a pipelined client may
-            // have earlier frames queued whose replies must precede
-            // the marker. If anything besides the single target frame
-            // came back, put it all back untouched and let the cancel
-            // miss (cancellation is best-effort by design). Only this
-            // reader thread appends inbound bytes, so the put-back
-            // cannot interleave with new frames.
-            let single_frame = matches!(
-                peek_command(&taken[..]),
-                Ok(Some((_, consumed))) if consumed == taken.len()
-            );
-            if single_frame {
-                state.pipe.push_outbound(CANCELLED_FRAME);
-                drop(pending);
-                // Deliver the confirmation now — the sweeper may be
-                // busy burning service time for another connection's
-                // query for a long while, and the whole point of
-                // cancelling is not to wait for that.
-                flush_conn(state, scratch);
-            } else {
-                state.pipe.send_bytes(&taken);
-            }
-        }
-    }
-}
-
-/// Atomically drains and writes one connection's outbound bytes
-/// through the caller's reusable `scratch` buffer (no allocation per
-/// flush). The writer lock is taken *before* draining so concurrent
-/// flushes (the sweeper's and a cancel confirmation) cannot reorder
-/// reply bytes.
-fn flush_conn(conn: &ConnState, scratch: &mut BytesMut) {
+/// Writes one reply frame. Callers hold the connection's `inner` lock,
+/// which is what serializes the per-connection reply order; the writer
+/// mutex only guards the stream object itself.
+fn write_frame(conn: &ConnState, bytes: &[u8]) {
     if conn.dead.load(Ordering::SeqCst) {
         return;
     }
     let mut writer = conn.writer.lock().unwrap();
-    scratch.clear();
-    conn.pipe.drain_outbound_into(scratch);
-    if !scratch.is_empty() && writer.write_all(scratch).is_err() {
+    if writer.write_all(bytes).is_err() {
         conn.dead.store(true, Ordering::SeqCst);
     }
 }
 
-/// Commands executed per connection per sweep cycle before moving on
-/// — the round-robin fairness granularity for pipelined clients.
-const SWEEP_BATCH: usize = 32;
+/// Enqueues a decoded request: assigns its sequence number, estimates
+/// its cost, registers its tie (if prefixed), admits the connection
+/// head to the central queue, and — for reissues — announces the tie
+/// to the peer server *after* registration and enqueue, so a racing
+/// `CANCELTIE` can never miss.
+fn enqueue_request<B: Backend>(
+    shared: &Arc<Shared<B>>,
+    state: &Arc<ConnState>,
+    cmd: Command,
+    tie: Option<TieInfo>,
+) {
+    let cost = shared.store.lock().unwrap().estimate_cost(&cmd);
+    let is_reissue = tie.is_some_and(|t| t.peer.is_some());
+    let mut tie = tie;
+    let mut precancelled = false;
+    let mut inner = state.inner.lock().unwrap();
+    let seq = inner.next_seq;
+    inner.next_seq += 1;
+    if let Some(t) = tie.as_mut() {
+        let mut table = shared.ties.lock().unwrap();
+        shared
+            .tie_counters
+            .registered
+            .fetch_add(1, Ordering::Relaxed);
+        if table.precancelled.remove(t.id) {
+            // The peer's CANCELTIE outran this request (the reader can
+            // stall behind a slow execute): born cancelled.
+            table.done.insert(t.id);
+            precancelled = true;
+            shared
+                .tie_counters
+                .retractions
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            if let Some(peer) = table.pending_peers.remove(&t.id) {
+                // A TIEPEER announce got here first; adopt it.
+                if t.peer.is_none() {
+                    t.peer = Some(peer);
+                }
+            }
+            table.regs.insert(
+                t.id,
+                TieReg {
+                    conn: state.clone(),
+                    seq,
+                },
+            );
+        }
+    }
+    inner.queue.push_back(Entry {
+        seq,
+        cmd,
+        cost,
+        enqueued_at: shared.now_ms(),
+        tie,
+        is_reissue,
+        cancelled: precancelled,
+        admitted: false,
+        executing: false,
+    });
+    admit_head(shared, state, &mut inner);
+    drop(inner);
+    if is_reissue && !precancelled {
+        if let Some(TieInfo {
+            id,
+            peer: Some((peer_addr, peer_id)),
+        }) = tie
+        {
+            // Announce the reissue to the primary's server. Ordering:
+            // the registration above is already visible, so the peer's
+            // eventual CANCELTIE always finds it.
+            shared.send_tie(
+                peer_addr,
+                Command::TiePeer {
+                    id: peer_id,
+                    peer_addr: shared.local_addr,
+                    peer_id: id,
+                },
+            );
+        }
+    }
+}
+
+/// Advances a connection's head: emits cancelled markers for retracted
+/// entries that reached the front (their reply slot, in order), and
+/// admits the first live entry into the central queue. Caller holds
+/// `inner`.
+fn admit_head<B: Backend>(shared: &Shared<B>, conn: &Arc<ConnState>, inner: &mut ConnInner) {
+    loop {
+        let Some(front) = inner.queue.front_mut() else {
+            return;
+        };
+        if front.admitted {
+            return;
+        }
+        if front.cancelled {
+            if let Some(t) = front.tie {
+                shared.ties.lock().unwrap().finish(t.id);
+            }
+            write_frame(conn, CANCELLED_FRAME);
+            inner.queue.pop_front();
+            continue;
+        }
+        front.admitted = true;
+        let item = SchedItem {
+            conn: conn.clone(),
+            seq: front.seq,
+            cost: front.cost as f64,
+            enqueued_at: front.enqueued_at,
+            is_reissue: front.is_reissue,
+        };
+        shared.sched.lock().unwrap().push(item);
+        shared.sweep_cv.notify_all();
+        return;
+    }
+}
+
+/// Marks the entry `seq` on `conn` as cancelled, retracting it
+/// immediately when possible. Returns `true` if the retraction landed
+/// in time (the request will never execute).
+fn cancel_entry<B: Backend>(shared: &Shared<B>, conn: &Arc<ConnState>, seq: u64) -> bool {
+    let mut inner = conn.inner.lock().unwrap();
+    let Some(entry) = inner.queue.iter_mut().find(|e| e.seq == seq) else {
+        return false; // already executed (or never existed): no-op
+    };
+    if entry.executing || entry.cancelled {
+        return false;
+    }
+    entry.cancelled = true;
+    if entry.admitted {
+        // The head is in the central queue — or already in the
+        // sweeper's hands. Take it back if it is still queued; if the
+        // take misses, the sweeper holds it and will honor the
+        // `cancelled` flag before executing.
+        let taken = shared
+            .sched
+            .lock()
+            .unwrap()
+            .take(|it| Arc::ptr_eq(&it.conn, conn) && it.seq == seq);
+        if taken.is_some() {
+            if let Some(e) = inner.queue.front_mut() {
+                e.admitted = false;
+            }
+            admit_head(shared, conn, &mut inner);
+        }
+    }
+    // Deeper (non-admitted) entries stay queued; their marker is
+    // emitted by `admit_head` when they reach the front.
+    true
+}
+
+/// Client-driven `CANCEL <seq>` on the entry's own connection.
+fn client_cancel<B: Backend>(shared: &Arc<Shared<B>>, state: &Arc<ConnState>, seq: u64) {
+    cancel_entry(shared, state, seq);
+}
+
+/// A peer server announced a reissue tied to local tie `id`. If the
+/// local copy is still queued, remember the peer so dequeue sends
+/// `CANCELTIE`; if it already left the queue, collapse the tie by
+/// cancelling the peer right away.
+fn handle_tie_peer<B: Backend>(
+    shared: &Arc<Shared<B>>,
+    id: u64,
+    peer_addr: SocketAddr,
+    peer_id: u64,
+) {
+    let reg = {
+        let mut table = shared.ties.lock().unwrap();
+        match table.regs.get(&id) {
+            Some(r) => Some((r.conn.clone(), r.seq)),
+            None if table.done.contains(id) => None, // left the queue: collapse
+            None => {
+                // Announce outran the tied request itself; hold the
+                // peer until registration adopts it.
+                table.store_pending_peer(id, (peer_addr, peer_id));
+                return;
+            }
+        }
+    };
+    if let Some((conn, seq)) = reg {
+        let mut inner = conn.inner.lock().unwrap();
+        if let Some(entry) = inner.queue.iter_mut().find(|e| e.seq == seq) {
+            if !entry.executing && !entry.cancelled {
+                if let Some(t) = entry.tie.as_mut() {
+                    t.peer = Some((peer_addr, peer_id));
+                    return;
+                }
+            }
+        }
+    }
+    shared
+        .tie_counters
+        .collapses
+        .fetch_add(1, Ordering::Relaxed);
+    shared.send_tie(peer_addr, Command::CancelTie(peer_id));
+}
+
+/// A peer server dequeued the twin of tie `id`: retract our copy if it
+/// is still queued.
+fn handle_cancel_tie<B: Backend>(shared: &Arc<Shared<B>>, id: u64) {
+    let reg = {
+        let mut table = shared.ties.lock().unwrap();
+        match table.regs.remove(&id) {
+            Some(r) => {
+                table.done.insert(id);
+                Some((r.conn, r.seq))
+            }
+            None => {
+                if !table.done.contains(id) {
+                    // Cancel outran the tied request: remember it so
+                    // the request is born cancelled when it arrives.
+                    table.precancelled.insert(id);
+                    table.pending_peers.remove(&id);
+                }
+                None
+            }
+        }
+    };
+    let Some((conn, seq)) = reg else {
+        return; // already dequeued/retracted, or pre-cancelled
+    };
+    if cancel_entry(shared, &conn, seq) {
+        shared
+            .tie_counters
+            .retractions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 fn sweep_loop<B: Backend>(shared: &Arc<Shared<B>>) {
-    // Both buffers persist across cycles: `cycle` keeps its capacity
-    // (refreshed with cheap Arc clones each pass instead of a fresh
-    // Vec allocation), `scratch` pools the flush path's staging bytes.
-    let mut cycle: Vec<Arc<ConnState>> = Vec::new();
     let mut scratch = BytesMut::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        // One round-robin cycle, one connection at a time. Each
-        // executed command's service time (cost × nanos_per_op) is
-        // burned — and its reply flushed — *individually, in cycle
-        // order*: a monster command stalls every connection later in
-        // the cycle (real head-of-line blocking), but replies already
-        // produced earlier in the cycle are released immediately
-        // rather than being held behind the monster's burn.
-        cycle.clear();
-        cycle.extend(shared.conns.lock().unwrap().iter().cloned());
-        let mut executed = 0usize;
-        for (idx, conn) in cycle.iter().enumerate() {
-            // Drain the connection's complete frames (a pipelined
-            // client coalesces several per segment), burning each
-            // command's service time individually, then flush the
-            // whole batch of replies in one write. With one request
-            // per connection on the wire — every hedged/tail-latency
-            // path — this executes at most one command, exactly the
-            // old per-command behavior; the batch cap keeps one
-            // deep-queued connection from starving the rest of the
-            // cycle indefinitely.
-            let mut batched = 0usize;
-            while batched < SWEEP_BATCH {
-                let cost = shared.server.lock().unwrap().sweep_conn(idx);
-                let Some(cost) = cost else { break };
-                batched += 1;
-                let nanos_per_op = shared.nanos_per_op.load(Ordering::Relaxed);
-                if cost > 0 && nanos_per_op > 0 {
-                    burn(Duration::from_nanos(cost * nanos_per_op));
-                }
+        let now = shared.now_ms();
+        let item = shared.sched.lock().unwrap().pop(now);
+        let Some(item) = item else {
+            reap_dead(shared);
+            let guard = shared.sched.lock().unwrap();
+            if !guard.is_empty() {
+                continue; // pushed between the pop and this lock
             }
-            if batched > 0 {
-                executed += batched;
-                flush_conn(conn, &mut scratch);
-            }
-        }
-        // Catch stragglers (e.g. protocol-error replies written by the
-        // readers) that the per-command flush above did not cover.
-        flush_replies(shared, &mut scratch);
-        reap_dead(shared);
-        if executed == 0 {
-            let server = shared.server.lock().unwrap();
-            // Timeout bounds the lost-wakeup window (reader notifies
-            // without holding the server lock).
+            // Timeout bounds the lost-wakeup window (readers notify
+            // without holding the queue lock).
             let _ = shared
                 .sweep_cv
-                .wait_timeout(server, Duration::from_micros(100))
+                .wait_timeout(guard, Duration::from_micros(100))
                 .unwrap();
+            continue;
+        };
+        let mut inner = item.conn.inner.lock().unwrap();
+        if item.conn.dead.load(Ordering::SeqCst) {
+            if inner.queue.front().map(|e| e.seq) == Some(item.seq) {
+                inner.queue.pop_front();
+            }
+            continue;
         }
-    }
-}
-
-/// Forwards every connection's pending outbound bytes to its socket.
-fn flush_replies<B: Backend>(shared: &Arc<Shared<B>>, scratch: &mut BytesMut) {
-    let conns = shared.conns.lock().unwrap();
-    for conn in conns.iter() {
-        flush_conn(conn, scratch);
+        let Some(front) = inner.queue.front_mut() else {
+            continue;
+        };
+        if front.seq != item.seq {
+            continue; // stale: the entry was retracted under us
+        }
+        if front.cancelled {
+            // Cancelled after admission but before we committed:
+            // re-route through the marker path (a bonus retraction).
+            front.admitted = false;
+            admit_head(shared, &item.conn, &mut inner);
+            continue;
+        }
+        front.executing = true;
+        let cmd = front.cmd.clone();
+        let tie = front.tie;
+        drop(inner);
+        // Dequeue-time peer cancellation: this copy won the queue race,
+        // so retract the twin *now* — before execution — rather than
+        // after the reply has crossed the network.
+        if let Some(t) = tie {
+            shared.ties.lock().unwrap().finish(t.id);
+            if let Some((peer_addr, peer_id)) = t.peer {
+                shared.send_tie(peer_addr, Command::CancelTie(peer_id));
+                shared
+                    .tie_counters
+                    .peer_cancels_sent
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (reply, cost) = shared.store.lock().unwrap().execute(&cmd);
+        {
+            let mut stats = shared.stats.lock().unwrap();
+            stats.commands += 1;
+            stats.sweeps += 1;
+            stats.total_cost += cost;
+        }
+        let nanos_per_op = shared.nanos_per_op.load(Ordering::Relaxed);
+        if cost > 0 && nanos_per_op > 0 {
+            // Saturating and capped: cost is data-dependent, and a
+            // plain multiply could overflow into a near-zero burn.
+            let nanos = cost.saturating_mul(nanos_per_op).min(MAX_BURN_NANOS);
+            burn(Duration::from_nanos(nanos));
+        }
+        let mut inner = item.conn.inner.lock().unwrap();
+        if inner.queue.front().map(|e| e.seq) == Some(item.seq) {
+            inner.queue.pop_front();
+            scratch.clear();
+            encode_reply(&reply, &mut scratch);
+            write_frame(&item.conn, &scratch);
+            admit_head(shared, &item.conn, &mut inner);
+        }
     }
 }
 
 /// Removes connections whose peers have gone away (reader hit EOF, or
-/// a reply write failed), keeping `shared.conns` and the
-/// `MiniServer`'s connection list index-aligned — both lists only ever
-/// append at the tail and remove here, under both locks. Without this
-/// the sweep and broadcast loops scan dead connections forever and
-/// memory grows with every client that ever connected.
+/// a reply write failed), along with any tie registrations pointing at
+/// them. Without this the connection list and tie map grow with every
+/// client that ever connected.
 fn reap_dead<B: Backend>(shared: &Arc<Shared<B>>) {
-    if !shared
-        .conns
+    {
+        let mut conns = shared.conns.lock().unwrap();
+        if !conns.iter().any(|c| c.dead.load(Ordering::SeqCst)) {
+            return;
+        }
+        conns.retain(|c| !c.dead.load(Ordering::SeqCst));
+    }
+    shared
+        .ties
         .lock()
         .unwrap()
-        .iter()
-        .any(|c| c.dead.load(Ordering::SeqCst))
-    {
-        return;
-    }
-    // Lock order: server before conns, matching no other nested use
-    // (the accept loop takes them in separate statements).
-    let mut server = shared.server.lock().unwrap();
-    let mut conns = shared.conns.lock().unwrap();
-    let mut idx = 0;
-    while idx < conns.len() {
-        if conns[idx].dead.load(Ordering::SeqCst) {
-            server.remove_connection(idx);
-            conns.remove(idx);
-        } else {
-            idx += 1;
+        .regs
+        .retain(|_, r| !r.conn.dead.load(Ordering::SeqCst));
+}
+
+/// Forwards tie-protocol messages (`TIEPEER`, `CANCELTIE`) to peer
+/// servers over cached client connections. Write-only: the peers treat
+/// these as control frames and never reply. Exits when the sender side
+/// is dropped at shutdown.
+fn tie_sender_loop(rx: &mpsc::Receiver<(SocketAddr, Command)>) {
+    let mut conns: HashMap<SocketAddr, TcpStream> = HashMap::new();
+    let mut buf = BytesMut::new();
+    while let Ok((addr, cmd)) = rx.recv() {
+        buf.clear();
+        encode_command(&cmd, &mut buf);
+        let sent = match conns.get_mut(&addr) {
+            Some(stream) => stream.write_all(&buf).is_ok(),
+            None => false,
+        };
+        if !sent {
+            conns.remove(&addr);
+            if let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+                let _ = stream.set_nodelay(true);
+                if stream.write_all(&buf).is_ok() {
+                    conns.insert(addr, stream);
+                }
+            }
         }
     }
 }
@@ -478,6 +975,20 @@ mod tests {
         }
     }
 
+    /// A store with two big sets whose intersection is a monster.
+    fn monster_store() -> KvStore {
+        let mut store = KvStore::new();
+        store.load_set(
+            "big1",
+            kvstore::IntSet::from_unsorted((0..200_000).collect()),
+        );
+        store.load_set(
+            "big2",
+            kvstore::IntSet::from_unsorted((100_000..300_000).collect()),
+        );
+        store
+    }
+
     #[test]
     fn tcp_roundtrip_basics() {
         let server =
@@ -509,17 +1020,15 @@ mod tests {
     #[test]
     fn cancel_retracts_queued_request() {
         // Load a slow key so the sweeper is busy while we cancel.
-        let mut store = KvStore::new();
-        store.load_set(
-            "big1",
-            kvstore::IntSet::from_unsorted((0..200_000).collect()),
-        );
-        store.load_set(
-            "big2",
-            kvstore::IntSet::from_unsorted((100_000..300_000).collect()),
-        );
-        let server =
-            TcpServer::bind("127.0.0.1:0", store, TcpServerConfig { nanos_per_op: 500 }).unwrap();
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            monster_store(),
+            TcpServerConfig {
+                nanos_per_op: 500,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
         // Connection A: a monster query occupies the sweeper.
         let mut a = TcpStream::connect(server.local_addr()).unwrap();
         send_cmd(&mut a, &Command::SInterCard("big1".into(), "big2".into()));
@@ -546,8 +1055,8 @@ mod tests {
         let server =
             TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
         // Connect, round-trip, disconnect — repeatedly. Before the
-        // reap, every one of these left a dead ConnState (and a dead
-        // MiniServer pipe) behind forever.
+        // reap, every one of these left a dead ConnState behind
+        // forever.
         for _ in 0..8 {
             let mut c = TcpStream::connect(server.local_addr()).unwrap();
             send_cmd(&mut c, &Command::Ping);
@@ -562,8 +1071,7 @@ mod tests {
             0,
             "dead connections must be reaped"
         );
-        // A fresh client still works after the reaping (indices stayed
-        // aligned between the transport and the MiniServer).
+        // A fresh client still works after the reaping.
         let mut c = TcpStream::connect(server.local_addr()).unwrap();
         send_cmd(&mut c, &Command::Ping);
         assert_eq!(read_reply(&mut c), Reply::Pong);
@@ -587,7 +1095,7 @@ mod tests {
         }
         assert_eq!(server.connection_count(), 2);
         // The survivors (one before, one after the removed slot) still
-        // round-trip: sweep indices were not skewed by the removal.
+        // round-trip.
         send_cmd(&mut keep2, &Command::Set("k".into(), "v".into()));
         assert_eq!(read_reply(&mut keep2), Reply::Ok);
         send_cmd(&mut keep1, &Command::Get("k".into()));
@@ -606,5 +1114,221 @@ mod tests {
         send_cmd(&mut c, &Command::Ping);
         assert_eq!(read_reply(&mut c), Reply::Pong);
         server.shutdown();
+    }
+
+    #[test]
+    fn cost_priority_discipline_reorders_across_connections() {
+        // Three connections: a monster occupying the sweeper, then a
+        // big and a small request queued behind it. Under CostPriority
+        // the small one must be served before the big one even though
+        // it arrived later.
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            monster_store(),
+            TcpServerConfig {
+                nanos_per_op: 500,
+                discipline: Discipline::CostPriority,
+            },
+        )
+        .unwrap();
+        let mut blocker = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(
+            &mut blocker,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        std::thread::sleep(Duration::from_millis(20)); // monster executing
+        let mut big = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut big, &Command::SInterCard("big1".into(), "big2".into()));
+        std::thread::sleep(Duration::from_millis(5));
+        let mut small = TcpStream::connect(server.local_addr()).unwrap();
+        send_cmd(&mut small, &Command::Ping);
+        // The small request's reply must come back before the big
+        // request's, despite arriving after it.
+        assert_eq!(read_reply(&mut small), Reply::Pong);
+        assert_eq!(read_reply(&mut big), Reply::Int(100_000));
+        assert_eq!(read_reply(&mut blocker), Reply::Int(100_000));
+        server.shutdown();
+    }
+
+    #[test]
+    fn tied_pair_cancels_peer_at_dequeue_time() {
+        // Server A is busy (its primary sits queued); server B is
+        // idle, so B dequeues the reissue first and must CANCELTIE the
+        // primary out of A's queue — with no client-side CANCEL at
+        // all.
+        let cfg = TcpServerConfig {
+            nanos_per_op: 500,
+            ..TcpServerConfig::default()
+        };
+        let a = TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap();
+        let b = TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap();
+        // Occupy A's sweeper with a monster.
+        let mut blocker = TcpStream::connect(a.local_addr()).unwrap();
+        send_cmd(
+            &mut blocker,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        // Primary to A: TIE 1, then the query (queued behind the
+        // monster).
+        let mut primary = TcpStream::connect(a.local_addr()).unwrap();
+        send_cmd(&mut primary, &Command::Tie { id: 1, peer: None });
+        send_cmd(
+            &mut primary,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        // Reissue to B: TIE 2 naming (A, 1) as its peer.
+        let mut reissue = TcpStream::connect(b.local_addr()).unwrap();
+        send_cmd(
+            &mut reissue,
+            &Command::Tie {
+                id: 2,
+                peer: Some((a.local_addr(), 1)),
+            },
+        );
+        send_cmd(
+            &mut reissue,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        // B executes the reissue for real…
+        assert_eq!(read_reply(&mut reissue), Reply::Int(100_000));
+        // …and A's primary is retracted without ever executing.
+        assert_eq!(
+            read_reply(&mut primary),
+            Reply::Error(CANCELLED_MARKER.into()),
+            "primary should be retracted by the peer's CANCELTIE"
+        );
+        assert_eq!(read_reply(&mut blocker), Reply::Int(100_000));
+        assert_eq!(a.stats().commands, 1, "the tied primary never executed");
+        assert_eq!(b.tie_stats().peer_cancels_sent, 1);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while a.tie_stats().retractions == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(a.tie_stats().retractions, 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn late_tiepeer_announce_collapses_the_tie() {
+        // The primary executes before the reissue's TIEPEER announce
+        // arrives: the primary's server must answer CANCELTIE at once,
+        // retracting the reissue from the busy peer's queue.
+        let a = TcpServer::bind("127.0.0.1:0", KvStore::new(), TcpServerConfig::default()).unwrap();
+        let mut b_store = KvStore::new();
+        b_store.load_set(
+            "big1",
+            kvstore::IntSet::from_unsorted((0..10_000).collect()),
+        );
+        b_store.load_set(
+            "big2",
+            kvstore::IntSet::from_unsorted((5_000..15_000).collect()),
+        );
+        let b = TcpServer::bind(
+            "127.0.0.1:0",
+            b_store,
+            TcpServerConfig {
+                nanos_per_op: 5_000, // B is slow: its copy stays queued
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Keep B's sweeper busy so the reissue sits in queue.
+        let mut blocker = TcpStream::connect(b.local_addr()).unwrap();
+        send_cmd(
+            &mut blocker,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        // Primary to A executes immediately (A idle, no burn).
+        let mut primary = TcpStream::connect(a.local_addr()).unwrap();
+        send_cmd(&mut primary, &Command::Tie { id: 10, peer: None });
+        send_cmd(&mut primary, &Command::Ping);
+        assert_eq!(read_reply(&mut primary), Reply::Pong);
+        // Now the reissue lands on busy B, announcing to A — whose
+        // copy is long gone.
+        let mut reissue = TcpStream::connect(b.local_addr()).unwrap();
+        send_cmd(
+            &mut reissue,
+            &Command::Tie {
+                id: 11,
+                peer: Some((a.local_addr(), 10)),
+            },
+        );
+        send_cmd(&mut reissue, &Command::Ping);
+        assert_eq!(
+            read_reply(&mut reissue),
+            Reply::Error(CANCELLED_MARKER.into()),
+            "collapsed tie should retract the queued reissue"
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while a.tie_stats().collapses == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(a.tie_stats().collapses, 1);
+        assert_eq!(b.tie_stats().retractions, 1);
+        assert_eq!(read_reply(&mut blocker), Reply::Int(5_000));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_under_load_joins_all_threads() {
+        // N clients mid-request when shutdown lands: no panic, no
+        // deadlock, and every reader thread joined (the reader vec is
+        // drained). Previously readers were spawned detached and could
+        // outlive — and touch — a shut-down server.
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            monster_store(),
+            TcpServerConfig {
+                nanos_per_op: 200,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let clients: Vec<_> = (0..6)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let Ok(mut c) = TcpStream::connect(addr) else {
+                        return;
+                    };
+                    let mut out = BytesMut::new();
+                    for _ in 0..50 {
+                        out.clear();
+                        encode_command(
+                            &Command::SInterCard("big1".into(), "big2".into()),
+                            &mut out,
+                        );
+                        if c.write_all(&out).is_err() {
+                            return;
+                        }
+                    }
+                    // Read until the server goes away.
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        match c.read(&mut chunk) {
+                            Ok(0) | Err(_) => return,
+                            Ok(_) => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30)); // requests in flight
+        server.shutdown();
+        assert!(
+            server.shared.reader_threads.lock().unwrap().is_empty(),
+            "shutdown must join (not leak) reader threads"
+        );
+        // Shutdown is idempotent and drop-safe.
+        server.shutdown();
+        drop(server);
+        for c in clients {
+            c.join().unwrap();
+        }
     }
 }

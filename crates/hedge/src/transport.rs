@@ -202,9 +202,38 @@ impl Drop for InflightTicket {
     }
 }
 
+/// Server-side tie registration to attach to a dispatched request (see
+/// [`crate::server`] for the protocol). The transport prepends a `TIE`
+/// control frame to the request's *first* wire attempt — same
+/// `write(2)`, so the server's reader observes them back to back and
+/// the registration covers exactly this command. Control frames carry
+/// no reply and consume no sequence number, so cancellation by
+/// sequence keeps working unchanged.
+///
+/// `peer` is set on the *reissue* leg: the primary's (replica address,
+/// tie id), which the serving replica CANCELs at dequeue time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TieSpec {
+    /// This request's tie identifier, unique per client process.
+    pub id: u64,
+    /// The already-dispatched peer to retract when this copy is
+    /// dequeued: `(replica address, peer tie id)`.
+    pub peer: Option<(SocketAddr, u64)>,
+}
+
+impl TieSpec {
+    fn command(&self) -> Command {
+        Command::Tie {
+            id: self.id,
+            peer: self.peer,
+        }
+    }
+}
+
 struct Job {
     cmd: Command,
     token: CancelToken,
+    tie: Option<TieSpec>,
     reply: Sender<Result<Reply, TransportError>>,
     _ticket: InflightTicket,
 }
@@ -312,13 +341,28 @@ impl Replica {
     /// yet (the future then resolves to
     /// [`TransportError::Cancelled`]).
     pub fn request(&self, cmd: Command, token: CancelToken) -> InFlight {
-        // CANCEL frames are transport-internal (emitted by the cancel
-        // path with the right sequence number); a hand-sent one would
-        // desynchronize the reply stream, so refuse it here.
-        if matches!(cmd, Command::Cancel(_)) {
+        self.request_tied(cmd, token, None)
+    }
+
+    /// Like [`Replica::request`], but registers `tie` on the server
+    /// before the command (a `TIE` control frame coalesced into the
+    /// same write). A tied request can be retracted by its peer's
+    /// serving replica at dequeue time — server-to-server — instead of
+    /// waiting for this client's `CANCEL` round trip.
+    pub fn request_tied(&self, cmd: Command, token: CancelToken, tie: Option<TieSpec>) -> InFlight {
+        // CANCEL and tie frames are transport-internal control frames
+        // (no reply, sequence-number-sensitive); a hand-sent one would
+        // desynchronize the reply stream, so refuse them here.
+        if matches!(
+            cmd,
+            Command::Cancel(_)
+                | Command::Tie { .. }
+                | Command::TiePeer { .. }
+                | Command::CancelTie(_)
+        ) {
             let (tx, rx) = oneshot();
             let _ = tx.send(Err(TransportError::Protocol(
-                "CANCEL is sent via CancelToken, not as a request".into(),
+                "control frames are sent via CancelToken/TieSpec, not as requests".into(),
             )));
             return InFlight { rx: rx.recv() };
         }
@@ -333,6 +377,7 @@ impl Replica {
         let job = Job {
             cmd,
             token,
+            tie,
             reply: tx,
             _ticket: InflightTicket::new(&conn.inflight),
         };
@@ -440,9 +485,20 @@ fn attempt_request(
     job: &Job,
     chunk: &mut [u8],
     frame: &mut BytesMut,
+    include_tie: bool,
 ) -> Result<Reply, AttemptError> {
     let my_seq = io.seq;
     frame.clear();
+    // The tie registration rides in the same write as the command so
+    // the server's reader sees them back to back. First attempt only:
+    // a retried command re-executes untied (its peer may already have
+    // been retracted on the strength of the first copy), which keeps
+    // retraction counts conservative rather than double-registering.
+    if include_tie {
+        if let Some(tie) = &job.tie {
+            encode_command(&tie.command(), frame);
+        }
+    }
     encode_command(&job.cmd, frame);
     if let Err(e) = io.writer.lock().unwrap().write_all(frame) {
         return Err(AttemptError::Retryable(TransportError::Io(e.to_string())));
@@ -561,6 +617,7 @@ fn conn_loop(
         // health signal sees flapping even when the job eventually
         // succeeds.
         let mut attempt = 0usize;
+        let mut first_wire_attempt = true;
         let outcome = loop {
             if broken {
                 if let Err(e) = reconnect(addr, &mut io) {
@@ -574,7 +631,8 @@ fn conn_loop(
                 }
                 broken = false;
             }
-            match attempt_request(&mut io, &job, &mut chunk, &mut frame) {
+            let include_tie = std::mem::take(&mut first_wire_attempt);
+            match attempt_request(&mut io, &job, &mut chunk, &mut frame, include_tie) {
                 Ok(reply) => break Ok(reply),
                 Err(AttemptError::Final(e)) => {
                     if matches!(e, TransportError::Protocol(_)) {
@@ -723,9 +781,15 @@ fn pipelined_conn_loop(
                     }
                 }
             }
-            // One write for the whole batch.
+            // One write for the whole batch. Tie registrations ride
+            // immediately before their command (frames on this path
+            // are never replayed, so every staged job is a first
+            // attempt).
             batch.clear();
             for job in &staged {
+                if let Some(tie) = &job.tie {
+                    encode_command(&tie.command(), &mut batch);
+                }
                 encode_command(&job.cmd, &mut batch);
             }
             if let Err(e) = io.writer.lock().unwrap().write_all(&batch) {

@@ -59,6 +59,7 @@ fn target_shares(before: &[u64], after: &[u64]) -> Vec<f64> {
 fn reissue_targets_shift_away_from_sick_replica_and_return() {
     let cfg = TcpServerConfig {
         nanos_per_op: HEALTHY_NANOS_PER_OP,
+        ..TcpServerConfig::default()
     };
     let servers: Vec<TcpServer> = (0..3)
         .map(|_| TcpServer::bind("127.0.0.1:0", store(), cfg).unwrap())

@@ -43,6 +43,7 @@ fn hedged_request_wins_on_fast_replica_and_cancels_slow() {
     // replica 1 stays idle.
     let cfg = TcpServerConfig {
         nanos_per_op: 2_000,
+        ..TcpServerConfig::default()
     };
     let servers = [
         TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),
@@ -129,6 +130,7 @@ fn hedged_request_wins_on_fast_replica_and_cancels_slow() {
 fn double_r_second_stage_wins_when_first_two_replicas_stall() {
     let cfg = TcpServerConfig {
         nanos_per_op: 2_000,
+        ..TcpServerConfig::default()
     };
     let servers = [
         TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),
@@ -235,6 +237,7 @@ fn failed_reissue_does_not_kill_healthy_primary() {
         small_store(),
         TcpServerConfig {
             nanos_per_op: 100_000,
+            ..TcpServerConfig::default()
         },
     )
     .unwrap();
@@ -369,13 +372,19 @@ fn online_adapter_policy_stays_within_budget() {
         TcpServer::bind(
             "127.0.0.1:0",
             small_store(),
-            TcpServerConfig { nanos_per_op: 300 },
+            TcpServerConfig {
+                nanos_per_op: 300,
+                ..TcpServerConfig::default()
+            },
         )
         .unwrap(),
         TcpServer::bind(
             "127.0.0.1:0",
             small_store(),
-            TcpServerConfig { nanos_per_op: 300 },
+            TcpServerConfig {
+                nanos_per_op: 300,
+                ..TcpServerConfig::default()
+            },
         )
         .unwrap(),
     ];
@@ -438,6 +447,7 @@ fn online_adapter_policy_stays_within_budget() {
 fn raced_hedges_feed_censored_pairs_to_adapter() {
     let cfg = TcpServerConfig {
         nanos_per_op: 2_000,
+        ..TcpServerConfig::default()
     };
     let servers = [
         TcpServer::bind("127.0.0.1:0", monster_store(), cfg).unwrap(),

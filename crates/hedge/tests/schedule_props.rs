@@ -121,7 +121,7 @@ proptest! {
         // stage delay (≤ 2 ms), so P(outstanding at dᵢ) ≈ 1 and the
         // expected dispatch rate of stage i is qᵢ itself — which makes
         // the realized rates directly comparable to the coins.
-        let cfg = TcpServerConfig { nanos_per_op: 50_000 };
+        let cfg = TcpServerConfig { nanos_per_op: 50_000, ..TcpServerConfig::default() };
         let servers: Vec<TcpServer> = (0..3)
             .map(|_| TcpServer::bind("127.0.0.1:0", props_store(), cfg).unwrap())
             .collect();

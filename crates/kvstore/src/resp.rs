@@ -245,6 +245,36 @@ pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
             put_bulk(out, b"CANCEL");
             put_bulk_uint(out, *seq);
         }
+        Command::Tie { id, peer } => match peer {
+            None => {
+                put_array_header(out, 2);
+                put_bulk(out, b"TIE");
+                put_bulk_uint(out, *id);
+            }
+            Some((addr, peer_id)) => {
+                put_array_header(out, 4);
+                put_bulk(out, b"TIE");
+                put_bulk_uint(out, *id);
+                put_bulk(out, addr.to_string().as_bytes());
+                put_bulk_uint(out, *peer_id);
+            }
+        },
+        Command::TiePeer {
+            id,
+            peer_addr,
+            peer_id,
+        } => {
+            put_array_header(out, 4);
+            put_bulk(out, b"TIEPEER");
+            put_bulk_uint(out, *id);
+            put_bulk(out, peer_addr.to_string().as_bytes());
+            put_bulk_uint(out, *peer_id);
+        }
+        Command::CancelTie(id) => {
+            put_array_header(out, 2);
+            put_bulk(out, b"CANCELTIE");
+            put_bulk_uint(out, *id);
+        }
     }
 }
 
@@ -255,6 +285,16 @@ pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
 #[inline]
 fn parse_num<T: std::str::FromStr>(b: &[u8]) -> Option<T> {
     std::str::from_utf8(b).ok().and_then(|s| s.parse().ok())
+}
+
+/// Parses argument `i` as a socket address (the tie-protocol frames
+/// carry peer server addresses in display form).
+fn addr_arg(
+    buf: &[u8],
+    args: &[(usize, usize)],
+    i: usize,
+) -> Result<std::net::SocketAddr, RespError> {
+    parse_num(&buf[args[i].0..args[i].1]).ok_or(RespError::BadArguments("socket address expected"))
 }
 
 /// A non-consuming scan position over a borrowed input buffer. All
@@ -416,6 +456,44 @@ fn build_command(
             let seq = parse_num(&buf[args[1].0..args[1].1])
                 .ok_or(RespError::BadArguments("sequence number expected"))?;
             Ok(Command::Cancel(seq))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"TIE") {
+        // TIE <id> | TIE <id> <peer_addr> <peer_id> — the tie ids and
+        // address parse in peek mode too, so validation matches.
+        let id_arg = |i: usize| -> Result<u64, RespError> {
+            parse_num(&buf[args[i].0..args[i].1]).ok_or(RespError::BadArguments("tie id expected"))
+        };
+        match arity {
+            1 => Ok(Command::Tie {
+                id: id_arg(1)?,
+                peer: None,
+            }),
+            3 => Ok(Command::Tie {
+                id: id_arg(1)?,
+                peer: Some((addr_arg(buf, args, 2)?, id_arg(3)?)),
+            }),
+            _ => Err(RespError::BadArguments("wrong arity")),
+        }
+    } else if is(b"TIEPEER") {
+        let id_arg = |i: usize| -> Result<u64, RespError> {
+            parse_num(&buf[args[i].0..args[i].1]).ok_or(RespError::BadArguments("tie id expected"))
+        };
+        if arity == 3 {
+            Ok(Command::TiePeer {
+                id: id_arg(1)?,
+                peer_addr: addr_arg(buf, args, 2)?,
+                peer_id: id_arg(3)?,
+            })
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"CANCELTIE") {
+        if arity == 1 {
+            let id = parse_num(&buf[args[1].0..args[1].1])
+                .ok_or(RespError::BadArguments("tie id expected"))?;
+            Ok(Command::CancelTie(id))
         } else {
             Err(RespError::BadArguments("wrong arity"))
         }
@@ -745,10 +823,42 @@ pub mod reference {
                     .ok_or(RespError::BadArguments("sequence number expected"))?;
                 Ok(Some(Command::Cancel(seq)))
             }
+            "TIE" if arity == 1 => Ok(Some(Command::Tie {
+                id: ref_parse(&args[1], "tie id expected")?,
+                peer: None,
+            })),
+            "TIE" if arity == 3 => Ok(Some(Command::Tie {
+                id: ref_parse(&args[1], "tie id expected")?,
+                peer: Some((
+                    ref_parse(&args[2], "socket address expected")?,
+                    ref_parse(&args[3], "tie id expected")?,
+                )),
+            })),
+            "TIEPEER" if arity == 3 => Ok(Some(Command::TiePeer {
+                id: ref_parse(&args[1], "tie id expected")?,
+                peer_addr: ref_parse(&args[2], "socket address expected")?,
+                peer_id: ref_parse(&args[3], "tie id expected")?,
+            })),
+            "CANCELTIE" if arity == 1 => Ok(Some(Command::CancelTie(ref_parse(
+                &args[1],
+                "tie id expected",
+            )?))),
             "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SEARCH" | "SINTER" | "SINTERCARD"
-            | "CANCEL" => Err(RespError::BadArguments("wrong arity")),
+            | "CANCEL" | "TIE" | "TIEPEER" | "CANCELTIE" => {
+                Err(RespError::BadArguments("wrong arity"))
+            }
             other => Err(RespError::UnknownCommand(other.to_string())),
         }
+    }
+
+    /// Parses one owned argument, mirroring the zero-copy path's
+    /// `parse_num`-based validation (including the tie frames' socket
+    /// addresses).
+    fn ref_parse<T: std::str::FromStr>(b: &[u8], err: &'static str) -> Result<T, RespError> {
+        std::str::from_utf8(b)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(RespError::BadArguments(err))
     }
 
     /// Old `format!`-based command encoder.
@@ -780,6 +890,28 @@ pub mod reference {
             }
             Command::Cancel(seq) => {
                 vec![b"CANCEL".to_vec(), seq.to_string().into_bytes()]
+            }
+            Command::Tie { id, peer } => match peer {
+                None => vec![b"TIE".to_vec(), id.to_string().into_bytes()],
+                Some((addr, peer_id)) => vec![
+                    b"TIE".to_vec(),
+                    id.to_string().into_bytes(),
+                    addr.to_string().into_bytes(),
+                    peer_id.to_string().into_bytes(),
+                ],
+            },
+            Command::TiePeer {
+                id,
+                peer_addr,
+                peer_id,
+            } => vec![
+                b"TIEPEER".to_vec(),
+                id.to_string().into_bytes(),
+                peer_addr.to_string().into_bytes(),
+                peer_id.to_string().into_bytes(),
+            ],
+            Command::CancelTie(id) => {
+                vec![b"CANCELTIE".to_vec(), id.to_string().into_bytes()]
             }
         };
         out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());

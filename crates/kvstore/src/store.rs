@@ -48,6 +48,40 @@ pub enum Command {
     /// transport layer (`hedge::TcpServer`); if one reaches the store
     /// itself (no transport in between) it is a harmless no-op.
     Cancel(u64),
+    /// Tied-request prefix ("The Tail at Scale" dequeue-time
+    /// cancellation): the *next* request frame on this connection is
+    /// tied under the client-global id `id`. A reissue additionally
+    /// carries its peer's identity — the primary's server address and
+    /// tie id — so the first server to dequeue either copy can retract
+    /// the other over the server-to-server channel. Interpreted by the
+    /// transport layer; a no-op at store level.
+    Tie {
+        /// Client-global tie id of the request this prefixes.
+        id: u64,
+        /// The peer copy's `(server address, tie id)`, present on
+        /// reissues only.
+        peer: Option<(std::net::SocketAddr, u64)>,
+    },
+    /// Server-to-server tie announce: the reissue holder tells the
+    /// primary's server that queued entry `id` now has a peer
+    /// (`peer_addr`, `peer_id`), *after* enqueueing the reissue — so a
+    /// returned [`Command::CancelTie`] can never precede its target's
+    /// enqueue. Interpreted by the transport layer; a no-op at store
+    /// level.
+    TiePeer {
+        /// Tie id of the receiving server's queued entry.
+        id: u64,
+        /// The announcing server's listening address.
+        peer_addr: std::net::SocketAddr,
+        /// Tie id of the announcing server's queued reissue.
+        peer_id: u64,
+    },
+    /// Server-to-server tied-request retraction: the peer copy of this
+    /// tie id was dequeued for execution; retract this server's copy if
+    /// it is still queued (reply `-ERR cancelled` to its client) and
+    /// do nothing otherwise. Interpreted by the transport layer; a
+    /// no-op at store level.
+    CancelTie(u64),
 }
 
 /// One scored search result as carried in a [`Reply::Hits`].
@@ -117,11 +151,26 @@ pub enum Reply {
 pub trait Backend: Send + 'static {
     /// Executes one command, returning the reply and its cost.
     fn execute(&mut self, cmd: &Command) -> (Reply, u64);
+
+    /// Cheap *pre-execution* cost estimate for queue scheduling
+    /// (`Discipline::CostPriority` / `Discipline::ShortestBurn` order
+    /// by it). Must not mutate state and should be O(1)-ish — it runs
+    /// at enqueue time on the reader path. The default claims every
+    /// command costs 1, which degrades cost-aware disciplines to FIFO
+    /// without breaking them.
+    fn estimate_cost(&self, cmd: &Command) -> u64 {
+        let _ = cmd;
+        1
+    }
 }
 
 impl Backend for KvStore {
     fn execute(&mut self, cmd: &Command) -> (Reply, u64) {
         KvStore::execute(self, cmd)
+    }
+
+    fn estimate_cost(&self, cmd: &Command) -> u64 {
+        KvStore::estimate_cost(self, cmd)
     }
 }
 
@@ -229,8 +278,27 @@ impl KvStore {
             // search backend sharing the wire format.
             Command::Search { .. } => (Reply::Error("SEARCH unsupported by kvstore".into()), 1),
             // Nothing outstanding at store level: the transport already
-            // consumed any retractable request before execution.
-            Command::Cancel(_) => (Reply::Ok, 1),
+            // consumed any retractable request before execution. The
+            // tie-protocol frames are likewise transport-level control.
+            Command::Cancel(_)
+            | Command::Tie { .. }
+            | Command::TiePeer { .. }
+            | Command::CancelTie(_) => (Reply::Ok, 1),
+        }
+    }
+
+    /// Pre-execution cost estimate mirroring [`KvStore::execute`]'s
+    /// accounting without doing the work: intersections are bounded by
+    /// the smaller operand's cardinality (the probe side of
+    /// `IntSet::intersect_probe`), point operations cost 1.
+    pub fn estimate_cost(&self, cmd: &Command) -> u64 {
+        match cmd {
+            Command::SInter(a, b) | Command::SInterCard(a, b) => {
+                let card = |k: &[u8]| self.get_set(k).map(|s| s.len()).unwrap_or(0);
+                2 + card(a).min(card(b)) as u64
+            }
+            Command::SAdd(_, members) => 1 + members.len() as u64,
+            _ => 1,
         }
     }
 }
@@ -322,6 +390,41 @@ mod tests {
             big_cost > 100 * small_cost,
             "big={big_cost} small={small_cost}"
         );
+    }
+
+    #[test]
+    fn estimate_cost_tracks_executed_cost_shape() {
+        let mut kv = KvStore::new();
+        kv.load_set("big1", IntSet::from_unsorted((0..10_000).collect()));
+        kv.load_set("big2", IntSet::from_unsorted((5_000..15_000).collect()));
+        kv.load_set("small", IntSet::from_unsorted(vec![1, 2]));
+        let est_big = kv.estimate_cost(&Command::SInterCard(b("big1"), b("big2")));
+        let est_small = kv.estimate_cost(&Command::SInterCard(b("big1"), b("small")));
+        assert!(est_big > 100 * est_small, "big={est_big} small={est_small}");
+        // The estimate must not mutate and must stay cheap for control
+        // frames.
+        assert_eq!(kv.estimate_cost(&Command::Ping), 1);
+        assert_eq!(kv.estimate_cost(&Command::CancelTie(7)), 1);
+        // Tie frames execute as store-level no-ops.
+        let addr: std::net::SocketAddr = "127.0.0.1:80".parse().unwrap();
+        assert_eq!(
+            kv.execute(&Command::Tie {
+                id: 1,
+                peer: Some((addr, 2))
+            })
+            .0,
+            Reply::Ok
+        );
+        assert_eq!(
+            kv.execute(&Command::TiePeer {
+                id: 1,
+                peer_addr: addr,
+                peer_id: 2
+            })
+            .0,
+            Reply::Ok
+        );
+        assert_eq!(kv.execute(&Command::CancelTie(1)).0, Reply::Ok);
     }
 
     #[test]

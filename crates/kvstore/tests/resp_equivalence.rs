@@ -52,8 +52,28 @@ impl Rng {
     }
 }
 
+fn random_addr(rng: &mut Rng) -> std::net::SocketAddr {
+    // IPv4 and IPv6 display forms both round-trip through FromStr.
+    if rng.below(4) == 0 {
+        std::net::SocketAddr::from((
+            std::net::Ipv6Addr::new(0, 0, 0, 0, 0, 0, 0, 1),
+            (rng.next() % 65_536) as u16,
+        ))
+    } else {
+        std::net::SocketAddr::from((
+            std::net::Ipv4Addr::new(
+                127,
+                (rng.next() % 256) as u8,
+                (rng.next() % 256) as u8,
+                (rng.next() % 256) as u8,
+            ),
+            (rng.next() % 65_536) as u16,
+        ))
+    }
+}
+
 fn random_command(rng: &mut Rng) -> Command {
-    match rng.below(10) {
+    match rng.below(13) {
         0 => Command::Ping,
         1 => Command::Get(rng.key()),
         2 => Command::Set(rng.key(), bytes::Bytes::copy_from_slice(&rng.bytes(40))),
@@ -66,6 +86,24 @@ fn random_command(rng: &mut Rng) -> Command {
             terms: rng.members(),
             k: rng.next() as u32 % 100,
         },
+        9 => {
+            let peer = if rng.below(2) == 0 {
+                None
+            } else {
+                let addr = random_addr(rng);
+                Some((addr, rng.next()))
+            };
+            Command::Tie {
+                id: rng.next(),
+                peer,
+            }
+        }
+        10 => Command::TiePeer {
+            id: rng.next(),
+            peer_addr: random_addr(rng),
+            peer_id: rng.next(),
+        },
+        11 => Command::CancelTie(rng.next()),
         _ => Command::Cancel(rng.next()),
     }
 }

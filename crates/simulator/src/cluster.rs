@@ -234,8 +234,11 @@ pub fn simulate(
         .collect();
     let mut queries: Vec<QueryState> = Vec::with_capacity(run.queries);
 
+    // Simulated clients are pre-assigned to a fixed connection ring;
+    // `connections == 0` (the TCP server's dynamic-id mode) degrades
+    // to a single shared connection here.
     let connections = match cluster.discipline {
-        Discipline::RoundRobin { connections } => connections,
+        Discipline::RoundRobin { connections } => connections.max(1),
         _ => 1,
     };
 
@@ -407,7 +410,7 @@ pub fn simulate(
                 }
 
                 // Start the next request, lazily dropping cancelled ones.
-                while let Some(next) = servers[server].queue.pop() {
+                while let Some(next) = servers[server].queue.pop(now) {
                     if cluster.cancel_queued && next.query != STALL && queries[next.query].completed
                     {
                         continue; // dropped without service

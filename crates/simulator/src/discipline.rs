@@ -1,29 +1,16 @@
 //! Server queue disciplines (Figure 5c and the Redis model of §6.2).
+//!
+//! The [`Discipline`] type and the [`WaitQueue`] implementation now
+//! live in [`reissue_core::discipline`], shared with the real TCP
+//! server (`hedge::TcpServer`) so the simulator and the serving path
+//! schedule with identical semantics. This module keeps the
+//! simulator-facing re-export and adapts the simulator's
+//! [`QueuedRequest`] to the shared [`QueueItem`] trait (its estimated
+//! cost is the exact service time — the simulator is clairvoyant,
+//! where the server only has `Backend::estimate_cost`).
 
-use std::collections::VecDeque;
-
-/// How a server orders waiting requests.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Discipline {
-    /// One FIFO queue; primaries and reissues are indistinguishable
-    /// (the paper's *Baseline FIFO*).
-    Fifo,
-    /// Two FIFO queues; reissues are served only when no primary waits
-    /// (*Prioritized FIFO*).
-    PrioritizedFifo,
-    /// Like [`Discipline::PrioritizedFifo`] but the reissue queue is
-    /// served LIFO (*Prioritized LIFO*).
-    PrioritizedLifo,
-    /// Requests are hashed onto `connections` per-server client
-    /// connections and served round-robin, one request per non-empty
-    /// connection per turn — Redis's event-loop behaviour that lets a
-    /// single "query of death" delay every other connection's requests
-    /// by a full service time each round (§6.2).
-    RoundRobin {
-        /// Number of client connections multiplexed onto the server.
-        connections: usize,
-    },
-}
+pub use reissue_core::discipline::Discipline;
+use reissue_core::discipline::QueueItem;
 
 /// A queued request, as seen by the discipline.
 #[derive(Clone, Copy, Debug)]
@@ -36,110 +23,23 @@ pub(crate) struct QueuedRequest {
     pub connection: usize,
 }
 
+impl QueueItem for QueuedRequest {
+    fn cost(&self) -> f64 {
+        self.service
+    }
+    fn enqueued_at(&self) -> f64 {
+        self.enqueued_at
+    }
+    fn is_reissue(&self) -> bool {
+        self.is_reissue
+    }
+    fn connection(&self) -> usize {
+        self.connection
+    }
+}
+
 /// A server's wait queue under a given [`Discipline`].
-#[derive(Clone, Debug)]
-pub(crate) enum WaitQueue {
-    Fifo(VecDeque<QueuedRequest>),
-    Prioritized {
-        primary: VecDeque<QueuedRequest>,
-        reissue: VecDeque<QueuedRequest>,
-        lifo_reissue: bool,
-    },
-    RoundRobin {
-        conns: Vec<VecDeque<QueuedRequest>>,
-        cursor: usize,
-        len: usize,
-    },
-}
-
-impl WaitQueue {
-    pub(crate) fn new(discipline: Discipline) -> Self {
-        match discipline {
-            Discipline::Fifo => WaitQueue::Fifo(VecDeque::new()),
-            Discipline::PrioritizedFifo => WaitQueue::Prioritized {
-                primary: VecDeque::new(),
-                reissue: VecDeque::new(),
-                lifo_reissue: false,
-            },
-            Discipline::PrioritizedLifo => WaitQueue::Prioritized {
-                primary: VecDeque::new(),
-                reissue: VecDeque::new(),
-                lifo_reissue: true,
-            },
-            Discipline::RoundRobin { connections } => {
-                assert!(connections > 0, "round-robin needs ≥ 1 connection");
-                WaitQueue::RoundRobin {
-                    conns: vec![VecDeque::new(); connections],
-                    cursor: 0,
-                    len: 0,
-                }
-            }
-        }
-    }
-
-    pub(crate) fn push(&mut self, req: QueuedRequest) {
-        match self {
-            WaitQueue::Fifo(q) => q.push_back(req),
-            WaitQueue::Prioritized {
-                primary, reissue, ..
-            } => {
-                if req.is_reissue {
-                    reissue.push_back(req);
-                } else {
-                    primary.push_back(req);
-                }
-            }
-            WaitQueue::RoundRobin { conns, len, .. } => {
-                let c = req.connection % conns.len();
-                conns[c].push_back(req);
-                *len += 1;
-            }
-        }
-    }
-
-    pub(crate) fn pop(&mut self) -> Option<QueuedRequest> {
-        match self {
-            WaitQueue::Fifo(q) => q.pop_front(),
-            WaitQueue::Prioritized {
-                primary,
-                reissue,
-                lifo_reissue,
-            } => primary.pop_front().or_else(|| {
-                if *lifo_reissue {
-                    reissue.pop_back()
-                } else {
-                    reissue.pop_front()
-                }
-            }),
-            WaitQueue::RoundRobin { conns, cursor, len } => {
-                if *len == 0 {
-                    return None;
-                }
-                // Advance to the next non-empty connection, continuing
-                // from where the last turn left off.
-                for _ in 0..conns.len() {
-                    let c = *cursor;
-                    *cursor = (*cursor + 1) % conns.len();
-                    if let Some(req) = conns[c].pop_front() {
-                        *len -= 1;
-                        return Some(req);
-                    }
-                }
-                unreachable!("len > 0 but every connection empty");
-            }
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        match self {
-            WaitQueue::Fifo(q) => q.len(),
-            WaitQueue::Prioritized {
-                primary, reissue, ..
-            } => primary.len() + reissue.len(),
-            WaitQueue::RoundRobin { len, .. } => *len,
-        }
-    }
-}
+pub(crate) type WaitQueue = reissue_core::discipline::WaitQueue<QueuedRequest>;
 
 #[cfg(test)]
 mod tests {
@@ -161,7 +61,7 @@ mod tests {
         q.push(req(1, false, 0));
         q.push(req(2, true, 0));
         q.push(req(3, false, 0));
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(0.0).map(|r| r.query)).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -172,7 +72,7 @@ mod tests {
         q.push(req(2, false, 0));
         q.push(req(3, true, 0));
         q.push(req(4, false, 0));
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(0.0).map(|r| r.query)).collect();
         assert_eq!(order, vec![2, 4, 1, 3]); // primaries FIFO, then reissues FIFO
     }
 
@@ -182,7 +82,7 @@ mod tests {
         q.push(req(1, true, 0));
         q.push(req(2, true, 0));
         q.push(req(3, false, 0));
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(0.0).map(|r| r.query)).collect();
         assert_eq!(order, vec![3, 2, 1]); // primary, then reissues LIFO
     }
 
@@ -195,7 +95,7 @@ mod tests {
         q.push(req(12, false, 0));
         q.push(req(20, false, 1));
         q.push(req(30, false, 2));
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|r| r.query)).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(0.0).map(|r| r.query)).collect();
         // One per connection per turn: 10, 20, 30, then drain 0.
         assert_eq!(order, vec![10, 20, 30, 11, 12]);
     }
@@ -207,10 +107,10 @@ mod tests {
         q.push(req(1, false, 0));
         q.push(req(2, false, 1));
         assert_eq!(q.len(), 2);
-        q.pop();
+        q.pop(0.0);
         assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.pop().is_none());
+        q.pop(0.0);
+        assert!(q.pop(0.0).is_none());
     }
 
     #[test]
@@ -219,13 +119,39 @@ mod tests {
         q.push(req(1, false, 7)); // 7 % 2 == 1
         q.push(req(2, false, 0));
         // Cursor starts at 0: connection 0 first.
-        assert_eq!(q.pop().unwrap().query, 2);
-        assert_eq!(q.pop().unwrap().query, 1);
+        assert_eq!(q.pop(0.0).unwrap().query, 2);
+        assert_eq!(q.pop(0.0).unwrap().query, 1);
     }
 
     #[test]
-    #[should_panic(expected = "connection")]
-    fn zero_connections_panics() {
-        let _ = WaitQueue::new(Discipline::RoundRobin { connections: 0 });
+    fn zero_connections_means_dynamic_ids() {
+        // connections == 0 is no longer rejected: sub-queues are keyed
+        // by raw connection id (the TCP server's accept-order ids).
+        let mut q = WaitQueue::new(Discipline::RoundRobin { connections: 0 });
+        q.push(req(1, false, 40));
+        q.push(req(2, false, 7));
+        assert_eq!(q.pop(0.0).unwrap().query, 2);
+        assert_eq!(q.pop(0.0).unwrap().query, 1);
+    }
+
+    #[test]
+    fn cost_priority_serves_cheapest_first() {
+        let mut q = WaitQueue::new(Discipline::CostPriority);
+        q.push(QueuedRequest {
+            query: 1,
+            is_reissue: false,
+            service: 9.0,
+            enqueued_at: 0.0,
+            connection: 0,
+        });
+        q.push(QueuedRequest {
+            query: 2,
+            is_reissue: false,
+            service: 1.0,
+            enqueued_at: 1.0,
+            connection: 0,
+        });
+        assert_eq!(q.pop(2.0).unwrap().query, 2);
+        assert_eq!(q.pop(2.0).unwrap().query, 1);
     }
 }

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures. See `reissue_bench` crate docs.
 //!
 //! ```text
-//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|ramp|discipline|throughput|all>...
+//! figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|ramp|discipline|erasure|throughput|all>...
 //! ```
 //!
 //! `tcp` regenerates the §6.2 figures through the real TCP serving
@@ -13,7 +13,10 @@
 //! `HEDGE_RAMP_ASSERT=1` adds the CI sanity assertion), and
 //! `discipline` A/Bs cancellation style × server queue discipline
 //! (see `figs_discipline`; persists `BENCH_discipline.json`;
-//! `HEDGE_DISCIPLINE_ASSERT=1` adds the CI shape assertions).
+//! `HEDGE_DISCIPLINE_ASSERT=1` adds the CI shape assertions), and
+//! `erasure` A/Bs replica hedging vs fragment hedging at equal byte
+//! budget (see `figs_erasure`; persists `BENCH_erasure.json`;
+//! `HEDGE_ERASURE_ASSERT=1` adds the CI shape assertions).
 //! `HEDGE_TCP_QUERIES=<n>` shrinks those runs for smoke testing.
 //! The TCP/fan-out figures additionally persist machine-readable
 //! results to `BENCH_tcp.json` / `BENCH_fanout.json` in the working
@@ -22,7 +25,7 @@
 //! so they are requested explicitly.
 
 use reissue_bench::{
-    figs_discipline, figs_ext, figs_fanout, figs_ramp, figs_sim, figs_sys, figs_tcp,
+    figs_discipline, figs_erasure, figs_ext, figs_fanout, figs_ramp, figs_sim, figs_sys, figs_tcp,
     figs_throughput, out_dir, write_bench_json, Scale, Table,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -75,7 +78,7 @@ fn main() {
         .collect();
     if figs.is_empty() {
         eprintln!(
-            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|ramp|discipline|throughput|all>..."
+            "usage: figures [--fast] [--no-csv] <fig2a|fig2b|fig3|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig7c|fig8|fig9|figtcp_62|figtcp_scaleout|tcp|fanout|ramp|discipline|erasure|throughput|all>..."
         );
         std::process::exit(2);
     }
@@ -123,6 +126,7 @@ fn main() {
             "fanout" | "figtcp_fanout" => figs_fanout::figtcp_fanout(scale),
             "ramp" | "figtcp_ramp" => figs_ramp::figtcp_ramp(scale),
             "discipline" | "figtcp_discipline" => figs_discipline::figtcp_discipline_matrix(scale),
+            "erasure" | "figtcp_erasure" => figs_erasure::figtcp_erasure(scale),
             "throughput" => figs_throughput::figtcp_throughput(scale),
             other => {
                 eprintln!("unknown figure id: {other}");
@@ -137,6 +141,7 @@ fn main() {
             "fanout" | "figtcp_fanout" => Some("BENCH_fanout.json"),
             "ramp" | "figtcp_ramp" => Some("BENCH_ramp.json"),
             "discipline" | "figtcp_discipline" => Some("BENCH_discipline.json"),
+            "erasure" | "figtcp_erasure" => Some("BENCH_erasure.json"),
             "throughput" => Some("BENCH_throughput.json"),
             _ => None,
         };

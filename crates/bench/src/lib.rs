@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod figs_discipline;
+pub mod figs_erasure;
 pub mod figs_ext;
 pub mod figs_fanout;
 pub mod figs_ramp;

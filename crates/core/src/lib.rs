@@ -52,6 +52,7 @@ pub mod budget;
 pub mod censored;
 pub mod discipline;
 pub mod ecdf;
+pub mod kofn;
 pub mod load;
 pub mod metrics;
 pub mod model;

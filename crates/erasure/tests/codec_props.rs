@@ -1,0 +1,128 @@
+//! Property tests (vendored proptest shim — deterministic per-test
+//! RNG, no shrinking) for the XOR stripe codec: split → any decodable
+//! k-subset → byte-identical value, across random lengths (odd sizes
+//! and non-multiples of k included), random geometries, and subsets
+//! that substitute a parity clone for a data fragment.
+
+use erasure::codec::{decodable, decode_stripe, encode_stripe, fragment_len, CodecError};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random payload whose bytes depend on the seed (so stripes differ
+/// between slots and cases), with lengths deliberately straddling
+/// `k`-multiples, odd sizes, and zero.
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All-data subsets reconstruct byte-identically for every
+    /// geometry 1 ≤ k < n ≤ 8 and lengths that exercise odd sizes,
+    /// `k`-multiples ± 1, and the empty value.
+    #[test]
+    fn all_data_roundtrip(
+        k in 1usize..6,
+        extra in 1usize..3,
+        len in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let value = payload(len, seed);
+        let frags = encode_stripe(&value, k, n).unwrap();
+        prop_assert_eq!(frags.len(), n);
+        for f in &frags {
+            prop_assert_eq!(
+                f.len(),
+                erasure::codec::HEADER_LEN + fragment_len(len, k),
+                "all fragments are the padded stripe width"
+            );
+        }
+        let got = decode_stripe(&frags[..k]).unwrap();
+        prop_assert_eq!(&got[..], &value[..]);
+    }
+
+    /// Parity-in-the-k-set: for every data slot `m`, the subset that
+    /// drops `m` and substitutes one parity clone still reconstructs
+    /// byte-identically — and this matches the `decodable` predicate.
+    #[test]
+    fn any_k_of_n_with_parity_roundtrip(
+        k in 1usize..6,
+        extra in 1usize..3,
+        len in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let value = payload(len, seed);
+        let frags = encode_stripe(&value, k, n).unwrap();
+        for missing in 0..k {
+            for parity_slot in k..n {
+                let subset: Vec<_> = (0..k)
+                    .filter(|&s| s != missing)
+                    .chain([parity_slot])
+                    .collect();
+                prop_assert!(decodable(k, subset.iter().copied()));
+                let picked: Vec<_> = subset.iter().map(|&s| &frags[s]).collect();
+                let got = decode_stripe(&picked).unwrap();
+                prop_assert_eq!(
+                    &got[..], &value[..],
+                    "k={k} n={n} len={len} missing={missing} via parity {parity_slot}"
+                );
+            }
+        }
+    }
+
+    /// Order independence: a decodable subset reconstructs the same
+    /// bytes no matter how its fragments are permuted (the wire hands
+    /// them back in completion order, not slot order).
+    #[test]
+    fn decode_is_order_independent(
+        k in 2usize..6,
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let n = k + 1;
+        let value = payload(len, seed);
+        let frags = encode_stripe(&value, k, n).unwrap();
+        // Drop slot 0, keep the parity, rotate through k orderings.
+        let subset: Vec<_> = (1..=k).map(|s| frags[s].clone()).collect();
+        for rot in 0..subset.len() {
+            let mut perm = subset.clone();
+            perm.rotate_left(rot);
+            let got = decode_stripe(&perm).unwrap();
+            prop_assert_eq!(&got[..], &value[..], "rotation {rot}");
+        }
+    }
+
+    /// Undecodable subsets are rejected, never silently wrong: any
+    /// k-subset with two parity clones (k − 2 data equations), and any
+    /// subset smaller than k without parity, errors with
+    /// `Insufficient`.
+    #[test]
+    fn undecodable_subsets_error(
+        k in 2usize..6,
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let n = k + 2;
+        let value = payload(len, seed);
+        let frags = encode_stripe(&value, k, n).unwrap();
+        // Two parity clones displace two data fragments.
+        let subset: Vec<_> = (2..k).chain([k, k + 1]).collect();
+        prop_assert!(!decodable(k, subset.iter().copied()));
+        let picked: Vec<_> = subset.iter().map(|&s| &frags[s]).collect();
+        prop_assert!(matches!(
+            decode_stripe(&picked),
+            Err(CodecError::Insufficient { .. })
+        ));
+        // k − 1 data fragments alone.
+        let short: Vec<_> = (1..k).map(|s| &frags[s]).collect();
+        prop_assert!(matches!(
+            decode_stripe(&short),
+            Err(CodecError::Insufficient { .. })
+        ));
+    }
+}

@@ -77,7 +77,10 @@ pub enum CancellationStyle {
 /// so ids must be unique across every client in the process.
 static NEXT_TIE_ID: AtomicU64 = AtomicU64::new(1);
 
-fn next_tie_id() -> u64 {
+/// Draws a fresh process-unique tie id. Public so other client layers
+/// (the erasure-coded fragment client) can register tied requests in
+/// the same id space without colliding with this module's hedges.
+pub fn next_tie_id() -> u64 {
     NEXT_TIE_ID.fetch_add(1, Ordering::Relaxed)
 }
 

@@ -49,9 +49,11 @@
 //! ```
 
 use crate::client::HedgedClient;
+use crate::rt::Runtime;
 use crate::server::{spawn_replicas, TcpServer, TcpServerConfig};
+use crate::transport::TransportError;
 
-use kvstore::{Backend, Command, KvStore};
+use kvstore::{Backend, Command, KvStore, Reply};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use reissue_core::metrics::LogHistogram;
@@ -59,6 +61,57 @@ use reissue_core::metrics::LogHistogram;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// What [`Cluster::run_load`] needs from a client: the open-loop
+/// generator is agnostic to *how* a query is served (one hedged
+/// replica read, a k-of-n fragment fan-out, …) as long as it can clone
+/// the client into the pacer task, spawn `'static` execute futures on
+/// the client's runtime, and snapshot two counters for per-segment
+/// reissue-rate deltas. [`HedgedClient`] and `erasure::StripedClient`
+/// both implement it, so every load experiment shares one pacer,
+/// admission bound, and drain loop.
+pub trait LoadClient: Clone + Send + 'static {
+    /// The runtime the pacer and completion tasks run on.
+    fn load_runtime(&self) -> &Runtime;
+
+    /// Issues one command. The future must be `'static`: it is spawned
+    /// onto the runtime and may outlive the caller's borrow.
+    fn load_execute(
+        &self,
+        cmd: Command,
+    ) -> impl std::future::Future<Output = Result<Reply, TransportError>> + Send + 'static;
+
+    /// `(completed queries, dispatched reissues)` counter snapshot —
+    /// segment boundaries report deltas of these.
+    fn load_counters(&self) -> (u64, u64);
+
+    /// The client's live utilization estimate ρ̂, if it keeps one.
+    fn load_utilization(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl LoadClient for HedgedClient {
+    fn load_runtime(&self) -> &Runtime {
+        self.runtime()
+    }
+
+    fn load_execute(
+        &self,
+        cmd: Command,
+    ) -> impl std::future::Future<Output = Result<Reply, TransportError>> + Send + 'static {
+        self.execute(cmd)
+    }
+
+    fn load_counters(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.queries, s.reissues)
+    }
+
+    fn load_utilization(&self) -> Option<f64> {
+        self.utilization()
+    }
+}
 
 /// Inter-arrival process of the open-loop generator.
 #[derive(Clone, Copy, Debug)]
@@ -385,243 +438,259 @@ impl<B: Backend> Cluster<B> {
     /// waits for every dispatched query to drain. `make_cmd` produces
     /// the command for arrival `i`.
     ///
-    /// Queries are dispatched on the arrival clock regardless of
-    /// completions (a closed loop would let every stalled query
-    /// suppress exactly the load that measures the stall). Arrivals
-    /// that find `max_in_flight` queries outstanding are dropped and
-    /// counted. Scripted [`SicknessEvent`]s are applied from the
-    /// calling thread as the arrival count crosses their `at_query`.
-    ///
-    /// The client should be connected to [`Cluster::addrs`]; the
-    /// cluster only needs itself for the sickness script, so a client
-    /// pointed elsewhere still paces correctly.
-    pub fn run_load(
+    /// Delegates to [`run_open_loop`] with this cluster's replicas as
+    /// the sickness-script target; see there for the pacing and
+    /// accounting contract.
+    pub fn run_load<C: LoadClient>(
         &self,
-        client: &HedgedClient,
+        client: &C,
         cfg: &LoadConfig,
         make_cmd: impl FnMut(usize) -> Command + Send + 'static,
     ) -> LoadReport {
-        let shared = Arc::new(RunShared {
-            in_flight: AtomicUsize::new(0),
-            peak_in_flight: AtomicUsize::new(0),
-            offered: AtomicU64::new(0),
-            dispatched: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            latency_ms: Mutex::new(LogHistogram::latency_ms()),
-        });
-        // Segment boundaries: every rate-script index strictly inside
-        // the run opens a new segment (one segment when the script is
-        // empty).
-        let mut rate_script: Vec<RateEvent> = cfg.rate_script.clone();
-        rate_script.sort_by_key(|e| e.at_query);
-        let mut bounds: Vec<usize> = vec![0];
-        bounds.extend(
-            rate_script
-                .iter()
-                .map(|e| e.at_query)
-                .filter(|&a| a > 0 && a < cfg.queries),
-        );
-        bounds.dedup();
-        bounds.push(cfg.queries);
-        let nseg = bounds.len() - 1;
-        let segs: Arc<Vec<SegShared>> = Arc::new((0..nseg).map(|_| SegShared::new()).collect());
-        let started = Instant::now();
-        let pacer = {
-            let client = client.clone();
-            let shared = shared.clone();
-            let segs = segs.clone();
-            let seg_bounds = bounds.clone();
-            let rate_script = rate_script.clone();
-            let cfg_arrivals = cfg.arrivals;
-            let queries = cfg.queries;
-            let max_in_flight = cfg.max_in_flight.max(1);
-            let seed = cfg.seed;
-            let mut make_cmd = make_cmd;
-            let rt = client.runtime().clone();
-            rt.clone().spawn(async move {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let mut arrivals = cfg_arrivals;
-                let mut next_rate = 0usize;
-                let mut cur_seg = 0usize;
-                // Absolute arrival schedule: each deadline advances by
-                // the sampled gap from the *previous deadline*, never
-                // from "now" — relative sleeps would add the pacer's
-                // own per-arrival work and wakeup latency on top of
-                // every gap, silently lowering the offered rate (and
-                // the error compounds exactly at the tight-gap sweep
-                // points the rate is supposed to stress). If the pacer
-                // falls behind, expired deadlines resolve immediately
-                // and it catches up.
-                let mut next_arrival = Instant::now();
-                for i in 0..queries {
-                    // Rate script: switch the arrival process the
-                    // moment the offered count crosses an event, and
-                    // advance the attribution segment in lockstep
-                    // (every in-range event is a segment boundary).
-                    while next_rate < rate_script.len() && rate_script[next_rate].at_query <= i {
-                        arrivals = rate_script[next_rate].arrivals;
-                        next_rate += 1;
-                    }
-                    while cur_seg + 1 < seg_bounds.len() - 1 && i >= seg_bounds[cur_seg + 1] {
-                        cur_seg += 1;
-                    }
-                    // Admission: the arrival happens on the clock
-                    // either way; only the dispatch is conditional.
-                    let outstanding = shared.in_flight.load(Ordering::Relaxed);
-                    if outstanding >= max_in_flight {
-                        shared.dropped.fetch_add(1, Ordering::Relaxed);
-                        segs[cur_seg].dropped.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        let now = outstanding + 1;
-                        shared.in_flight.fetch_add(1, Ordering::Relaxed);
-                        shared.peak_in_flight.fetch_max(now, Ordering::Relaxed);
-                        shared.dispatched.fetch_add(1, Ordering::Relaxed);
-                        segs[cur_seg].dispatched.fetch_add(1, Ordering::Relaxed);
-                        // Latency clock starts at admission, not at the
-                        // completion task's first poll: the time a
-                        // dispatched query spends waiting for the
-                        // executor to schedule it is part of its
-                        // latency (dropping it would under-report the
-                        // tail exactly at congested sweep points —
-                        // coordinated omission).
-                        let t0 = Instant::now();
-                        let fut = client.execute(make_cmd(i));
-                        let shared = shared.clone();
-                        let segs = segs.clone();
-                        let seg = cur_seg;
-                        rt.spawn(async move {
-                            match fut.await {
-                                Ok(_) => {
-                                    let ms = t0.elapsed().as_secs_f64() * 1e3;
-                                    shared.latency_ms.lock().unwrap().record(ms);
-                                    shared.completed.fetch_add(1, Ordering::Relaxed);
-                                    segs[seg].latency_ms.lock().unwrap().record(ms);
-                                    segs[seg].completed.fetch_add(1, Ordering::Relaxed);
-                                }
-                                Err(_) => {
-                                    shared.failed.fetch_add(1, Ordering::Relaxed);
-                                    segs[seg].failed.fetch_add(1, Ordering::Relaxed);
-                                }
+        run_open_loop(client, cfg, make_cmd, |replica, nanos_per_op| {
+            self.set_nanos_per_op(replica, nanos_per_op)
+        })
+    }
+}
+
+/// Drives `cfg.queries` arrivals through `client` open-loop and waits
+/// for every dispatched query to drain. `make_cmd` produces the
+/// command for arrival `i`; `sicken(replica, nanos_per_op)` applies
+/// each scripted [`SicknessEvent`] to whatever is serving — a
+/// [`Cluster`] replica, a striped fragment group's slot, anything with
+/// a service burn to turn.
+///
+/// Queries are dispatched on the arrival clock regardless of
+/// completions (a closed loop would let every stalled query suppress
+/// exactly the load that measures the stall). Arrivals that find
+/// `max_in_flight` queries outstanding are dropped and counted.
+/// Scripted [`SicknessEvent`]s are applied from the calling thread as
+/// the arrival count crosses their `at_query`.
+pub fn run_open_loop<C: LoadClient>(
+    client: &C,
+    cfg: &LoadConfig,
+    make_cmd: impl FnMut(usize) -> Command + Send + 'static,
+    mut sicken: impl FnMut(usize, u64),
+) -> LoadReport {
+    let shared = Arc::new(RunShared {
+        in_flight: AtomicUsize::new(0),
+        peak_in_flight: AtomicUsize::new(0),
+        offered: AtomicU64::new(0),
+        dispatched: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        latency_ms: Mutex::new(LogHistogram::latency_ms()),
+    });
+    // Segment boundaries: every rate-script index strictly inside
+    // the run opens a new segment (one segment when the script is
+    // empty).
+    let mut rate_script: Vec<RateEvent> = cfg.rate_script.clone();
+    rate_script.sort_by_key(|e| e.at_query);
+    let mut bounds: Vec<usize> = vec![0];
+    bounds.extend(
+        rate_script
+            .iter()
+            .map(|e| e.at_query)
+            .filter(|&a| a > 0 && a < cfg.queries),
+    );
+    bounds.dedup();
+    bounds.push(cfg.queries);
+    let nseg = bounds.len() - 1;
+    let segs: Arc<Vec<SegShared>> = Arc::new((0..nseg).map(|_| SegShared::new()).collect());
+    let started = Instant::now();
+    let pacer = {
+        let client = client.clone();
+        let shared = shared.clone();
+        let segs = segs.clone();
+        let seg_bounds = bounds.clone();
+        let rate_script = rate_script.clone();
+        let cfg_arrivals = cfg.arrivals;
+        let queries = cfg.queries;
+        let max_in_flight = cfg.max_in_flight.max(1);
+        let seed = cfg.seed;
+        let mut make_cmd = make_cmd;
+        let rt = client.load_runtime().clone();
+        rt.clone().spawn(async move {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut arrivals = cfg_arrivals;
+            let mut next_rate = 0usize;
+            let mut cur_seg = 0usize;
+            // Absolute arrival schedule: each deadline advances by
+            // the sampled gap from the *previous deadline*, never
+            // from "now" — relative sleeps would add the pacer's
+            // own per-arrival work and wakeup latency on top of
+            // every gap, silently lowering the offered rate (and
+            // the error compounds exactly at the tight-gap sweep
+            // points the rate is supposed to stress). If the pacer
+            // falls behind, expired deadlines resolve immediately
+            // and it catches up.
+            let mut next_arrival = Instant::now();
+            for i in 0..queries {
+                // Rate script: switch the arrival process the
+                // moment the offered count crosses an event, and
+                // advance the attribution segment in lockstep
+                // (every in-range event is a segment boundary).
+                while next_rate < rate_script.len() && rate_script[next_rate].at_query <= i {
+                    arrivals = rate_script[next_rate].arrivals;
+                    next_rate += 1;
+                }
+                while cur_seg + 1 < seg_bounds.len() - 1 && i >= seg_bounds[cur_seg + 1] {
+                    cur_seg += 1;
+                }
+                // Admission: the arrival happens on the clock
+                // either way; only the dispatch is conditional.
+                let outstanding = shared.in_flight.load(Ordering::Relaxed);
+                if outstanding >= max_in_flight {
+                    shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    segs[cur_seg].dropped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let now = outstanding + 1;
+                    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                    shared.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                    shared.dispatched.fetch_add(1, Ordering::Relaxed);
+                    segs[cur_seg].dispatched.fetch_add(1, Ordering::Relaxed);
+                    // Latency clock starts at admission, not at the
+                    // completion task's first poll: the time a
+                    // dispatched query spends waiting for the
+                    // executor to schedule it is part of its
+                    // latency (dropping it would under-report the
+                    // tail exactly at congested sweep points —
+                    // coordinated omission).
+                    let t0 = Instant::now();
+                    let fut = client.load_execute(make_cmd(i));
+                    let shared = shared.clone();
+                    let segs = segs.clone();
+                    let seg = cur_seg;
+                    rt.spawn(async move {
+                        match fut.await {
+                            Ok(_) => {
+                                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                                shared.latency_ms.lock().unwrap().record(ms);
+                                shared.completed.fetch_add(1, Ordering::Relaxed);
+                                segs[seg].latency_ms.lock().unwrap().record(ms);
+                                segs[seg].completed.fetch_add(1, Ordering::Relaxed);
                             }
-                            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                        });
-                    }
-                    shared.offered.fetch_add(1, Ordering::Relaxed);
-                    let gap = arrivals.gap_after_us(i, &mut rng);
-                    if gap > 0 {
-                        next_arrival += Duration::from_micros(gap);
-                        rt.sleep_until(next_arrival).await;
-                    }
+                            Err(_) => {
+                                shared.failed.fetch_add(1, Ordering::Relaxed);
+                                segs[seg].failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    });
                 }
-            })
-        };
-
-        // The calling thread watches arrival progress and applies the
-        // sickness script (it holds the &self borrow the replicas
-        // need; the pacer task must be 'static).
-        let mut script: Vec<SicknessEvent> = cfg.script.clone();
-        script.sort_by_key(|e| e.at_query);
-        let mut next_event = 0;
-        // Client-counter snapshots (completed queries, reissues, ρ̂)
-        // taken as the generator crosses each segment boundary; the
-        // deltas between consecutive snapshots become the segments'
-        // realized reissue rates.
-        let snap = |c: &HedgedClient| {
-            let s = c.stats();
-            (s.queries, s.reissues, c.utilization().unwrap_or(f64::NAN))
-        };
-        let mut snaps = vec![snap(client)];
-        let interior = &bounds[1..bounds.len() - 1];
-        let mut next_bound = 0usize;
-        // Time-averaged ρ̂ per segment, accumulated at every poll (the
-        // end-point snapshot alone is a noisy point sample of a
-        // sawtoothing estimate).
-        let mut rho_sum = vec![0.0f64; nseg];
-        let mut rho_polls = vec![0u64; nseg];
-        let poll = Duration::from_micros(200);
-        loop {
-            let offered = shared.offered.load(Ordering::Relaxed) as usize;
-            while next_event < script.len() && script[next_event].at_query <= offered {
-                let e = script[next_event];
-                self.set_nanos_per_op(e.replica, e.nanos_per_op);
-                next_event += 1;
-            }
-            while next_bound < interior.len() && offered >= interior[next_bound] {
-                snaps.push(snap(client));
-                next_bound += 1;
-            }
-            if let Some(rho) = client.utilization() {
-                let k = bounds.partition_point(|&b| b <= offered).saturating_sub(1);
-                let k = k.min(nseg - 1);
-                rho_sum[k] += rho;
-                rho_polls[k] += 1;
-            }
-            if offered >= cfg.queries {
-                break;
-            }
-            std::thread::sleep(poll);
-        }
-        client.runtime().block_on(pacer);
-        // Drain: every dispatched query resolves as completed or
-        // failed (the transport guarantees each request a reply or an
-        // error), so this terminates once the slowest straggler —
-        // monster service times included — finishes.
-        loop {
-            let done =
-                shared.completed.load(Ordering::Relaxed) + shared.failed.load(Ordering::Relaxed);
-            if done >= shared.dispatched.load(Ordering::Relaxed) {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        // Final snapshot after drain so the last segment's delta
-        // includes its stragglers.
-        snaps.push(snap(client));
-
-        let segments: Vec<SegmentReport> = (0..nseg)
-            .map(|k| {
-                let start = bounds[k];
-                let arrivals = rate_script
-                    .iter()
-                    .rev()
-                    .find(|e| e.at_query <= start)
-                    .map(|e| e.arrivals)
-                    .unwrap_or(cfg.arrivals);
-                let s = &segs[k];
-                SegmentReport {
-                    start,
-                    end: bounds[k + 1],
-                    arrivals,
-                    dispatched: s.dispatched.load(Ordering::Relaxed),
-                    dropped: s.dropped.load(Ordering::Relaxed),
-                    completed: s.completed.load(Ordering::Relaxed),
-                    failed: s.failed.load(Ordering::Relaxed),
-                    latency_ms: s.latency_ms.lock().unwrap().clone(),
-                    queries_delta: snaps[k + 1].0.saturating_sub(snaps[k].0),
-                    reissues_delta: snaps[k + 1].1.saturating_sub(snaps[k].1),
-                    utilization_end: snaps[k + 1].2,
-                    utilization_mean: if rho_polls[k] > 0 {
-                        rho_sum[k] / rho_polls[k] as f64
-                    } else {
-                        f64::NAN
-                    },
+                shared.offered.fetch_add(1, Ordering::Relaxed);
+                let gap = arrivals.gap_after_us(i, &mut rng);
+                if gap > 0 {
+                    next_arrival += Duration::from_micros(gap);
+                    rt.sleep_until(next_arrival).await;
                 }
-            })
-            .collect();
+            }
+        })
+    };
 
-        let latency_ms = shared.latency_ms.lock().unwrap().clone();
-        LoadReport {
-            dispatched: shared.dispatched.load(Ordering::Relaxed),
-            dropped: shared.dropped.load(Ordering::Relaxed),
-            completed: shared.completed.load(Ordering::Relaxed),
-            failed: shared.failed.load(Ordering::Relaxed),
-            peak_in_flight: shared.peak_in_flight.load(Ordering::Relaxed),
-            elapsed: started.elapsed(),
-            latency_ms,
-            segments,
+    // The calling thread watches arrival progress and applies the
+    // sickness script (it holds the &self borrow the replicas
+    // need; the pacer task must be 'static).
+    let mut script: Vec<SicknessEvent> = cfg.script.clone();
+    script.sort_by_key(|e| e.at_query);
+    let mut next_event = 0;
+    // Client-counter snapshots (completed queries, reissues, ρ̂)
+    // taken as the generator crosses each segment boundary; the
+    // deltas between consecutive snapshots become the segments'
+    // realized reissue rates.
+    let snap = |c: &C| {
+        let (queries, reissues) = c.load_counters();
+        (queries, reissues, c.load_utilization().unwrap_or(f64::NAN))
+    };
+    let mut snaps = vec![snap(client)];
+    let interior = &bounds[1..bounds.len() - 1];
+    let mut next_bound = 0usize;
+    // Time-averaged ρ̂ per segment, accumulated at every poll (the
+    // end-point snapshot alone is a noisy point sample of a
+    // sawtoothing estimate).
+    let mut rho_sum = vec![0.0f64; nseg];
+    let mut rho_polls = vec![0u64; nseg];
+    let poll = Duration::from_micros(200);
+    loop {
+        let offered = shared.offered.load(Ordering::Relaxed) as usize;
+        while next_event < script.len() && script[next_event].at_query <= offered {
+            let e = script[next_event];
+            sicken(e.replica, e.nanos_per_op);
+            next_event += 1;
         }
+        while next_bound < interior.len() && offered >= interior[next_bound] {
+            snaps.push(snap(client));
+            next_bound += 1;
+        }
+        if let Some(rho) = client.load_utilization() {
+            let k = bounds.partition_point(|&b| b <= offered).saturating_sub(1);
+            let k = k.min(nseg - 1);
+            rho_sum[k] += rho;
+            rho_polls[k] += 1;
+        }
+        if offered >= cfg.queries {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+    client.load_runtime().block_on(pacer);
+    // Drain: every dispatched query resolves as completed or
+    // failed (the transport guarantees each request a reply or an
+    // error), so this terminates once the slowest straggler —
+    // monster service times included — finishes.
+    loop {
+        let done = shared.completed.load(Ordering::Relaxed) + shared.failed.load(Ordering::Relaxed);
+        if done >= shared.dispatched.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Final snapshot after drain so the last segment's delta
+    // includes its stragglers.
+    snaps.push(snap(client));
+
+    let segments: Vec<SegmentReport> = (0..nseg)
+        .map(|k| {
+            let start = bounds[k];
+            let arrivals = rate_script
+                .iter()
+                .rev()
+                .find(|e| e.at_query <= start)
+                .map(|e| e.arrivals)
+                .unwrap_or(cfg.arrivals);
+            let s = &segs[k];
+            SegmentReport {
+                start,
+                end: bounds[k + 1],
+                arrivals,
+                dispatched: s.dispatched.load(Ordering::Relaxed),
+                dropped: s.dropped.load(Ordering::Relaxed),
+                completed: s.completed.load(Ordering::Relaxed),
+                failed: s.failed.load(Ordering::Relaxed),
+                latency_ms: s.latency_ms.lock().unwrap().clone(),
+                queries_delta: snaps[k + 1].0.saturating_sub(snaps[k].0),
+                reissues_delta: snaps[k + 1].1.saturating_sub(snaps[k].1),
+                utilization_end: snaps[k + 1].2,
+                utilization_mean: if rho_polls[k] > 0 {
+                    rho_sum[k] / rho_polls[k] as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect();
+
+    let latency_ms = shared.latency_ms.lock().unwrap().clone();
+    LoadReport {
+        dispatched: shared.dispatched.load(Ordering::Relaxed),
+        dropped: shared.dropped.load(Ordering::Relaxed),
+        completed: shared.completed.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        peak_in_flight: shared.peak_in_flight.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latency_ms,
+        segments,
     }
 }
 

@@ -89,9 +89,12 @@ pub mod sync;
 pub mod transport;
 
 pub use client::{
-    BudgetGovernor, CancellationStyle, HedgeConfig, HedgeStats, HedgedClient, MAX_STAGES,
+    next_tie_id, BudgetGovernor, CancellationStyle, HedgeConfig, HedgeStats, HedgedClient,
+    MAX_STAGES,
 };
-pub use harness::{Arrivals, Cluster, LoadConfig, LoadReport, SicknessEvent};
+pub use harness::{
+    run_open_loop, Arrivals, Cluster, LoadClient, LoadConfig, LoadReport, SicknessEvent,
+};
 pub use rt::{race, select_all, Either, JoinHandle, Runtime, SelectAll, Sleep};
 pub use server::{spawn_replicas, Discipline, TcpServer, TcpServerConfig, TieStats};
 pub use sync::CancelToken;

@@ -1212,6 +1212,104 @@ mod tests {
     }
 
     #[test]
+    fn lost_peer_cancel_degrades_to_client_retraction() {
+        // The tie channel is best-effort: here the reissue names a
+        // peer address where nothing listens, so B's dequeue-time
+        // CANCELTIE write is lost (connection refused, silently
+        // dropped). Degradation must be graceful: B serves on, the
+        // orphaned primary stays retractable via the client-side
+        // CANCEL fallback, and the retraction reply is the
+        // `-ERR cancelled` marker the client books as a censored pair.
+        // A burns slowly (wide retraction window); B is near-free so
+        // the reissue round-trip completes while A's primary still
+        // sits queued.
+        let a = TcpServer::bind(
+            "127.0.0.1:0",
+            monster_store(),
+            TcpServerConfig {
+                nanos_per_op: 3_000,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        let b = TcpServer::bind(
+            "127.0.0.1:0",
+            monster_store(),
+            TcpServerConfig {
+                nanos_per_op: 1,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        // A dead peer address: bound once to reserve a port, then
+        // dropped so connects are refused.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        // Occupy A's sweeper so its tied primary sits queued.
+        let mut blocker = TcpStream::connect(a.local_addr()).unwrap();
+        send_cmd(
+            &mut blocker,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        // Primary to A: TIE 1, then the query (queued).
+        let mut primary = TcpStream::connect(a.local_addr()).unwrap();
+        send_cmd(&mut primary, &Command::Tie { id: 1, peer: None });
+        send_cmd(
+            &mut primary,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        // Reissue to B naming the dead address as its peer's home: the
+        // announce and the dequeue-time cancel both go into the void.
+        let mut reissue = TcpStream::connect(b.local_addr()).unwrap();
+        send_cmd(
+            &mut reissue,
+            &Command::Tie {
+                id: 2,
+                peer: Some((dead, 1)),
+            },
+        );
+        send_cmd(
+            &mut reissue,
+            &Command::SInterCard("big1".into(), "big2".into()),
+        );
+        // B executes the reissue normally — the lost write must not
+        // stall or kill its serving loop.
+        assert_eq!(read_reply(&mut reissue), Reply::Int(100_000));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while b.tie_stats().peer_cancels_sent == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            b.tie_stats().peer_cancels_sent,
+            1,
+            "the cancel was attempted even though delivery failed"
+        );
+        let mut b2 = TcpStream::connect(b.local_addr()).unwrap();
+        send_cmd(&mut b2, &Command::Ping);
+        assert_eq!(read_reply(&mut b2), Reply::Pong, "B still serves");
+        // A never saw the CANCELTIE: its primary is still queued. The
+        // client-driven fallback retracts it in time.
+        send_cmd(&mut primary, &Command::Cancel(0));
+        assert_eq!(
+            read_reply(&mut primary),
+            Reply::Error(CANCELLED_MARKER.into()),
+            "orphaned primary must fall back to client-driven retraction"
+        );
+        assert_eq!(read_reply(&mut blocker), Reply::Int(100_000));
+        assert_eq!(
+            a.stats().commands,
+            1,
+            "only the blocker executed on A: the tied primary was retracted"
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
     fn late_tiepeer_announce_collapses_the_tie() {
         // The primary executes before the reissue's TIEPEER announce
         // arrives: the primary's server must answer CANCELTIE at once,

@@ -485,19 +485,19 @@ fn attempt_request(
     job: &Job,
     chunk: &mut [u8],
     frame: &mut BytesMut,
-    include_tie: bool,
 ) -> Result<Reply, AttemptError> {
     let my_seq = io.seq;
     frame.clear();
     // The tie registration rides in the same write as the command so
-    // the server's reader sees them back to back. First attempt only:
-    // a retried command re-executes untied (its peer may already have
-    // been retracted on the strength of the first copy), which keeps
-    // retraction counts conservative rather than double-registering.
-    if include_tie {
-        if let Some(tie) = &job.tie {
-            encode_command(&tie.command(), frame);
-        }
+    // the server's reader sees them back to back — on every wire
+    // attempt, including retries after a reconnect: a retry lands on a
+    // fresh socket of the *same* server, where re-registering the tie
+    // id is an idempotent table insert, and the tombstoned `TieTable`
+    // already converges when the peer's CANCELTIE arrived before the
+    // re-registration. Sending the retry untied would let the copy
+    // execute unretractable, silently understating retractions.
+    if let Some(tie) = &job.tie {
+        encode_command(&tie.command(), frame);
     }
     encode_command(&job.cmd, frame);
     if let Err(e) = io.writer.lock().unwrap().write_all(frame) {
@@ -617,7 +617,6 @@ fn conn_loop(
         // health signal sees flapping even when the job eventually
         // succeeds.
         let mut attempt = 0usize;
-        let mut first_wire_attempt = true;
         let outcome = loop {
             if broken {
                 if let Err(e) = reconnect(addr, &mut io) {
@@ -631,8 +630,7 @@ fn conn_loop(
                 }
                 broken = false;
             }
-            let include_tie = std::mem::take(&mut first_wire_attempt);
-            match attempt_request(&mut io, &job, &mut chunk, &mut frame, include_tie) {
+            match attempt_request(&mut io, &job, &mut chunk, &mut frame) {
                 Ok(reply) => break Ok(reply),
                 Err(AttemptError::Final(e)) => {
                     if matches!(e, TransportError::Protocol(_)) {
@@ -1049,6 +1047,66 @@ mod tests {
                 "request {i} should heal via reconnect"
             );
         }
+        drop(replica);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_broken_pipe_reattaches_tie() {
+        use kvstore::resp::{decode_command, encode_reply};
+
+        // First connection: swallow the request and slam the socket
+        // shut before replying (a retryable failure). The retry lands
+        // on a fresh connection — and must carry the TIE prefix again,
+        // or the re-executed copy runs unretractable and retraction
+        // accounting silently goes optimistic.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut tie_seen_on_retry = false;
+            for conn in 0..2 {
+                let Ok((mut s, _)) = listener.accept() else {
+                    break;
+                };
+                let mut buf = BytesMut::new();
+                let mut chunk = [0u8; 1024];
+                let mut got_tie = false;
+                'conn: loop {
+                    while let Ok(Some(cmd)) = decode_command(&mut buf) {
+                        match cmd {
+                            Command::Tie { id, peer } => {
+                                assert_eq!(id, 42);
+                                assert!(peer.is_none());
+                                got_tie = true;
+                            }
+                            Command::Ping => {
+                                assert!(got_tie, "connection {conn}: PING arrived untied");
+                                if conn == 0 {
+                                    break 'conn; // drop unserved: broken pipe
+                                }
+                                tie_seen_on_retry = true;
+                                let mut out = BytesMut::new();
+                                encode_reply(&Reply::Pong, &mut out);
+                                s.write_all(&out).unwrap();
+                                break 'conn;
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    match s.read(&mut chunk) {
+                        Ok(0) | Err(_) => break 'conn,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+            }
+            assert!(tie_seen_on_retry, "retry attempt must re-send the tie");
+        });
+
+        let replica = Replica::connect(addr, 1).unwrap();
+        let rt = Runtime::new(1);
+        let tie = TieSpec { id: 42, peer: None };
+        let out = rt.block_on(replica.request_tied(Command::Ping, CancelToken::new(), Some(tie)));
+        assert_eq!(out, Ok(Reply::Pong), "retry should heal via reconnect");
         drop(replica);
         server.join().unwrap();
     }

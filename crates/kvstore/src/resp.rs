@@ -240,6 +240,19 @@ pub fn encode_command(cmd: &Command, out: &mut BytesMut) {
             put_bulk(out, a);
             put_bulk(out, b);
         }
+        Command::FGet(k, slot) => {
+            put_array_header(out, 3);
+            put_bulk(out, b"FGET");
+            put_bulk(out, k);
+            put_bulk_uint(out, u64::from(*slot));
+        }
+        Command::FSet(k, slot, v) => {
+            put_array_header(out, 4);
+            put_bulk(out, b"FSET");
+            put_bulk(out, k);
+            put_bulk_uint(out, u64::from(*slot));
+            put_bulk(out, v);
+        }
         Command::Cancel(seq) => {
             put_array_header(out, 2);
             put_bulk(out, b"CANCEL");
@@ -448,6 +461,18 @@ fn build_command(
     } else if is(b"SINTERCARD") {
         if arity == 2 {
             Ok(Command::SInterCard(field(1), field(2)))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"FGET") {
+        if arity == 2 {
+            Ok(Command::FGet(field(1), int_arg(2)?))
+        } else {
+            Err(RespError::BadArguments("wrong arity"))
+        }
+    } else if is(b"FSET") {
+        if arity == 3 {
+            Ok(Command::FSet(field(1), int_arg(2)?, field(3)))
         } else {
             Err(RespError::BadArguments("wrong arity"))
         }
@@ -816,6 +841,8 @@ pub mod reference {
             }
             "SINTER" if arity == 2 => Ok(Some(Command::SInter(arg(1), arg(2)))),
             "SINTERCARD" if arity == 2 => Ok(Some(Command::SInterCard(arg(1), arg(2)))),
+            "FGET" if arity == 2 => Ok(Some(Command::FGet(arg(1), int_arg(2)?))),
+            "FSET" if arity == 3 => Ok(Some(Command::FSet(arg(1), int_arg(2)?, arg(3)))),
             "CANCEL" if arity == 1 => {
                 let seq = std::str::from_utf8(&args[1])
                     .ok()
@@ -844,7 +871,7 @@ pub mod reference {
                 "tie id expected",
             )?))),
             "GET" | "SET" | "DEL" | "SADD" | "SCARD" | "SEARCH" | "SINTER" | "SINTERCARD"
-            | "CANCEL" | "TIE" | "TIEPEER" | "CANCELTIE" => {
+            | "FGET" | "FSET" | "CANCEL" | "TIE" | "TIEPEER" | "CANCELTIE" => {
                 Err(RespError::BadArguments("wrong arity"))
             }
             other => Err(RespError::UnknownCommand(other.to_string())),
@@ -888,6 +915,15 @@ pub mod reference {
             Command::SInterCard(a, b) => {
                 vec![b"SINTERCARD".to_vec(), a.to_vec(), b.to_vec()]
             }
+            Command::FGet(k, slot) => {
+                vec![b"FGET".to_vec(), k.to_vec(), slot.to_string().into_bytes()]
+            }
+            Command::FSet(k, slot, v) => vec![
+                b"FSET".to_vec(),
+                k.to_vec(),
+                slot.to_string().into_bytes(),
+                v.to_vec(),
+            ],
             Command::Cancel(seq) => {
                 vec![b"CANCEL".to_vec(), seq.to_string().into_bytes()]
             }
@@ -1169,6 +1205,8 @@ mod tests {
             Command::SCard(Bytes::from_static(b"s")),
             Command::SInter(Bytes::from_static(b"a"), Bytes::from_static(b"b")),
             Command::SInterCard(Bytes::from_static(b"a"), Bytes::from_static(b"b")),
+            Command::FGet(Bytes::from_static(b"k"), 3),
+            Command::FSet(Bytes::from_static(b"k"), 2, Bytes::from_static(b"frag")),
         ];
         for cmd in cmds {
             let mut wire = BytesMut::new();

@@ -43,6 +43,15 @@ pub enum Command {
         /// Number of hits requested.
         k: u32,
     },
+    /// Read one erasure-coded fragment of a striped key: slot `slot`
+    /// of `key`'s stripe (see `crates/erasure`). Fragments live in a
+    /// reserved corner of the keyspace (see [`fragment_key`]) so a
+    /// plain [`KvStore`] serves them; replies `Str` or `Nil` like
+    /// [`Command::Get`].
+    FGet(Bytes, u32),
+    /// Write one erasure-coded fragment of a striped key (slot,
+    /// payload). Idempotent like [`Command::Set`]; replies `+OK`.
+    FSet(Bytes, u32, Bytes),
     /// Tied-request cancellation: retract the not-yet-executed request
     /// with this per-connection sequence number. Interpreted by the
     /// transport layer (`hedge::TcpServer`); if one reaches the store
@@ -216,6 +225,15 @@ impl KvStore {
         }
     }
 
+    /// Borrow a string value if the key holds one (cost estimators use
+    /// this for O(1) byte-size probes without executing the read).
+    pub fn get_str(&self, key: &[u8]) -> Option<&Bytes> {
+        match self.map.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Executes a command, returning the reply and its cost in
     /// elementary operations.
     pub fn execute(&mut self, cmd: &Command) -> (Reply, u64) {
@@ -274,6 +292,16 @@ impl KvStore {
                 (None, _) | (_, None) => (Reply::Int(0), 2),
                 _ => (Reply::Error("WRONGTYPE".into()), 2),
             },
+            Command::FGet(k, slot) => match self.map.get(&fragment_key(k, *slot)) {
+                Some(Value::Str(s)) => (Reply::Str(s.clone()), 1),
+                Some(Value::Set(_)) => (Reply::Error("WRONGTYPE".into()), 1),
+                None => (Reply::Nil, 1),
+            },
+            Command::FSet(k, slot, v) => {
+                self.map
+                    .insert(fragment_key(k, *slot), Value::Str(v.clone()));
+                (Reply::Ok, 1)
+            }
             // The kvstore holds no inverted index; SEARCH belongs to a
             // search backend sharing the wire format.
             Command::Search { .. } => (Reply::Error("SEARCH unsupported by kvstore".into()), 1),
@@ -303,12 +331,59 @@ impl KvStore {
     }
 }
 
+/// The keyspace slot where fragment (`key`, `slot`) of a striped value
+/// lives: `\0F<slot-le><key>`. The leading NUL keeps fragments out of
+/// the way of ordinary keys (the workload generators never emit NUL
+/// bytes in key names), and the fixed-width little-endian slot keeps
+/// the mapping collision-free across slots of the same key.
+pub fn fragment_key(key: &[u8], slot: u32) -> Bytes {
+    let mut out = Vec::with_capacity(2 + 4 + key.len());
+    out.push(0);
+    out.push(b'F');
+    out.extend_from_slice(&slot.to_le_bytes());
+    out.extend_from_slice(key);
+    Bytes::from(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn b(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn fragment_commands() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.execute(&Command::FGet(b("k"), 0)).0, Reply::Nil);
+        assert_eq!(
+            kv.execute(&Command::FSet(b("k"), 0, b("frag0"))).0,
+            Reply::Ok
+        );
+        assert_eq!(
+            kv.execute(&Command::FSet(b("k"), 1, b("frag1"))).0,
+            Reply::Ok
+        );
+        // Slots are independent of each other and of the plain key.
+        assert_eq!(
+            kv.execute(&Command::FGet(b("k"), 0)).0,
+            Reply::Str(b("frag0"))
+        );
+        assert_eq!(
+            kv.execute(&Command::FGet(b("k"), 1)).0,
+            Reply::Str(b("frag1"))
+        );
+        assert_eq!(kv.execute(&Command::Get(b("k"))).0, Reply::Nil);
+        assert_eq!(kv.execute(&Command::FGet(b("k"), 2)).0, Reply::Nil);
+        assert_eq!(kv.estimate_cost(&Command::FGet(b("k"), 0)), 1);
+    }
+
+    #[test]
+    fn fragment_keys_distinct() {
+        assert_ne!(fragment_key(b"k", 0), fragment_key(b"k", 1));
+        assert_ne!(fragment_key(b"k", 0), fragment_key(b"j", 0));
+        assert_ne!(fragment_key(b"k", 0), Bytes::from_static(b"k"));
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn random_addr(rng: &mut Rng) -> std::net::SocketAddr {
 }
 
 fn random_command(rng: &mut Rng) -> Command {
-    match rng.below(13) {
+    match rng.below(15) {
         0 => Command::Ping,
         1 => Command::Get(rng.key()),
         2 => Command::Set(rng.key(), bytes::Bytes::copy_from_slice(&rng.bytes(40))),
@@ -104,6 +104,12 @@ fn random_command(rng: &mut Rng) -> Command {
             peer_id: rng.next(),
         },
         11 => Command::CancelTie(rng.next()),
+        12 => Command::FGet(rng.key(), rng.next() as u32 % 16),
+        13 => Command::FSet(
+            rng.key(),
+            rng.next() as u32 % 16,
+            bytes::Bytes::copy_from_slice(&rng.bytes(40)),
+        ),
         _ => Command::Cancel(rng.next()),
     }
 }

@@ -23,7 +23,11 @@
 //!   shard slows at once);
 //! * [`run_fanout_load`] — the open-loop fan-out load harness with
 //!   bounded admission, exact completion accounting, aggregate-vs-leg
-//!   latency histograms, and `(shard, replica)` sickness scripting.
+//!   latency histograms, and `(shard, replica)` sickness scripting;
+//! * [`StripedGroup`] — the erasure-coded variant of one shard's
+//!   replica group: `n` servers holding one stripe slot each (data
+//!   fragments + parity clones) instead of `n` full copies, read
+//!   through `erasure::StripedClient`'s k-of-n fragment race.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,8 +36,10 @@ pub mod cluster;
 pub mod fanout;
 pub mod load;
 pub mod partition;
+pub mod striped;
 
 pub use cluster::ShardedCluster;
 pub use fanout::{FanoutClient, FanoutConfig, FanoutReply, LegReply};
 pub use load::{run_fanout_load, FanoutLoadConfig, FanoutLoadReport, FanoutSickness};
 pub use partition::{fnv1a, Keyspace};
+pub use striped::StripedGroup;

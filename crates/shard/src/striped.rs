@@ -1,0 +1,178 @@
+//! Erasure-coded striped replica groups for the sharded keyspace.
+//!
+//! A [`StripedGroup`] is the striped counterpart of one shard's
+//! [`hedge::harness::Cluster`]: `n` TCP servers that each hold **one
+//! stripe slot** of every key — data fragments on `k` of them, parity
+//! clones on the rest, rotated per key so every server carries an
+//! even mix — instead of `n` identical full copies. Reads go
+//! through [`erasure::StripedClient`]'s k-of-n race, so the group's
+//! hedge unit is a `1/k`-sized fragment rather than a whole request.
+//!
+//! Shard-level composition is unchanged: build one group per shard and
+//! scatter across them exactly as [`crate::ShardedCluster`] scatters
+//! across replica groups — shards still hold different data, striping
+//! only changes how *one* shard's bytes spread over its replicas.
+
+use erasure::{encode_stripe, CodecError, StripedBackend};
+use hedge::{run_open_loop, LoadClient, LoadConfig, LoadReport, TcpServer, TcpServerConfig};
+use kvstore::{Command, KvStore};
+
+use bytes::Bytes;
+use std::net::SocketAddr;
+
+/// One shard's striped replica group: `n` servers, one stripe slot
+/// each. Dropping the handle shuts every server down.
+pub struct StripedGroup {
+    servers: Vec<TcpServer<StripedBackend>>,
+    k: usize,
+    baseline_nanos_per_op: u64,
+}
+
+impl StripedGroup {
+    /// Spins up `n` fragment servers for a `(k, n)` stripe geometry,
+    /// each charging byte-proportional cost at `bytes_per_unit` and
+    /// burning `nanos_per_op` wall-clock nanoseconds per cost unit.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `n < k`.
+    pub fn spawn(
+        k: usize,
+        n: usize,
+        bytes_per_unit: u64,
+        nanos_per_op: u64,
+    ) -> std::io::Result<StripedGroup> {
+        assert!(k > 0, "a stripe needs at least one data fragment");
+        assert!(n >= k, "need at least k slots");
+        let cfg = TcpServerConfig {
+            nanos_per_op,
+            ..TcpServerConfig::default()
+        };
+        let servers = (0..n)
+            .map(|_| {
+                TcpServer::bind(
+                    "127.0.0.1:0",
+                    StripedBackend::new(KvStore::new(), bytes_per_unit),
+                    cfg,
+                )
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(StripedGroup {
+            servers,
+            k,
+            baseline_nanos_per_op: nanos_per_op,
+        })
+    }
+
+    /// Stripe geometry `(k, n)`.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.k, self.servers.len())
+    }
+
+    /// Every server's address, in replica order — feed directly to
+    /// [`erasure::StripedClient`], which maps each key's slot `s` to
+    /// replica `(s + erasure::placement_offset(key, n)) % n`.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Direct access to slot `idx`'s server.
+    pub fn server(&self, idx: usize) -> &TcpServer<StripedBackend> {
+        &self.servers[idx]
+    }
+
+    /// Seeds one key's stripe directly into the stores (no network):
+    /// slot `s`'s fragment lands on the key's rotated replica
+    /// `(s + placement_offset) % n`, matching where
+    /// [`erasure::StripedClient`] will look for it. The fast path for
+    /// bench setup; live writes go through
+    /// [`erasure::StripedClient::put_blocking`].
+    pub fn seed(&self, key: &[u8], value: &[u8]) -> Result<(), CodecError> {
+        let n = self.servers.len();
+        let frags = encode_stripe(value, self.k, n)?;
+        let offset = erasure::placement_offset(key, n);
+        for (slot, frag) in frags.into_iter().enumerate() {
+            self.servers[(slot + offset) % n].with_store(|s| {
+                s.store_mut().execute(&Command::FSet(
+                    Bytes::copy_from_slice(key),
+                    slot as u32,
+                    frag.clone(),
+                ))
+            });
+        }
+        Ok(())
+    }
+
+    /// Changes slot `idx`'s service burn while it serves (sicken /
+    /// heal).
+    pub fn set_nanos_per_op(&self, idx: usize, nanos_per_op: u64) {
+        self.servers[idx].set_nanos_per_op(nanos_per_op);
+    }
+
+    /// Restores every server to the spawn-time service burn.
+    pub fn heal_all(&self) {
+        for s in &self.servers {
+            s.set_nanos_per_op(self.baseline_nanos_per_op);
+        }
+    }
+
+    /// Total commands executed across all slots.
+    pub fn total_commands(&self) -> u64 {
+        self.servers.iter().map(|s| s.stats().commands).sum()
+    }
+
+    /// Drives `cfg.queries` arrivals through `client` open-loop
+    /// against this group — the striped counterpart of
+    /// [`hedge::harness::Cluster::run_load`], with the sickness script
+    /// applied to this group's fragment servers. See
+    /// [`hedge::run_open_loop`] for the pacing and accounting
+    /// contract.
+    pub fn run_load<C: LoadClient>(
+        &self,
+        client: &C,
+        cfg: &LoadConfig,
+        make_cmd: impl FnMut(usize) -> Command + Send + 'static,
+    ) -> LoadReport {
+        run_open_loop(client, cfg, make_cmd, |idx, nanos_per_op| {
+            self.set_nanos_per_op(idx, nanos_per_op)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasure::{StripedClient, StripedConfig};
+    use kvstore::Reply;
+
+    /// Two striped shard groups holding different data: per-group
+    /// clients read their own shard's stripes back byte-identically —
+    /// the scatter topology [`crate::ShardedCluster`] uses, with
+    /// striped groups swapped in for replica groups.
+    #[test]
+    fn striped_groups_shard_like_replica_groups() {
+        let groups: Vec<StripedGroup> = (0..2)
+            .map(|_| StripedGroup::spawn(2, 3, 64, 0).unwrap())
+            .collect();
+        let values: Vec<Vec<u8>> = (0..2u8)
+            .map(|s| (0..5_000u32).map(|i| (i % 200) as u8 ^ s).collect())
+            .collect();
+        for (g, v) in groups.iter().zip(&values) {
+            g.seed(b"shard:key", v).unwrap();
+        }
+        for (g, v) in groups.iter().zip(&values) {
+            let client = StripedClient::connect(
+                &g.addrs(),
+                StripedConfig {
+                    k: 2,
+                    workers: 2,
+                    ..StripedConfig::default()
+                },
+            )
+            .unwrap();
+            let got = client
+                .execute_blocking(Command::Get(Bytes::from_static(b"shard:key")))
+                .unwrap();
+            assert_eq!(got, Reply::Str(Bytes::from(v.clone())));
+        }
+    }
+}
